@@ -1,0 +1,108 @@
+//! Property-based tests of the analog front-end invariants.
+
+use divot_analog::comparator::{Comparator, ComparatorConfig};
+use divot_analog::linecode::{LineCode, SymbolStream};
+use divot_analog::modulation::{ModulationWave, VernierSchedule};
+use divot_analog::pll::{PhaseSteppingPll, PllConfig};
+use divot_dsp::rng::DivotRng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn modulation_waves_stay_in_range(
+        center in -0.1f64..0.1,
+        amplitude in 1e-4f64..0.1,
+        shape in 0.01f64..5.0,
+        phase in -3.0f64..3.0,
+    ) {
+        for wave in [
+            ModulationWave::Triangle { center, amplitude },
+            ModulationWave::RcTriangle { center, amplitude, shape },
+            ModulationWave::Sine { center, amplitude },
+        ] {
+            let v = wave.value_at_phase(phase);
+            let (lo, hi) = wave.range();
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{wave:?} at {phase}");
+        }
+    }
+
+    #[test]
+    fn modulation_is_periodic(
+        amplitude in 1e-3f64..0.1,
+        phase in 0.0f64..1.0,
+        k in 1i32..5,
+    ) {
+        let wave = ModulationWave::Triangle { center: 0.0, amplitude };
+        let a = wave.value_at_phase(phase);
+        let b = wave.value_at_phase(phase + k as f64);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vernier_visits_exactly_den_phases(
+        num in 1u64..40,
+        den in 2u64..40,
+        offset in 0u64..10,
+    ) {
+        fn gcd(a: u64, b: u64) -> u64 { if b == 0 { a } else { gcd(b, a % b) } }
+        prop_assume!(num % den != 0 && gcd(num % den, den) == 1);
+        let v = VernierSchedule::new(num, den, offset, 64);
+        let mut phases: Vec<f64> = (0..den).map(|r| v.phase(r)).collect();
+        phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        phases.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        prop_assert_eq!(phases.len() as u64, den);
+        // Periodicity.
+        prop_assert!((v.phase(0) - v.phase(den)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparator_is_monotone_in_signal(
+        sigma in 1e-4f64..5e-3,
+        v_ref in -0.02f64..0.02,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ComparatorConfig { noise_sigma: sigma, offset_sigma: 0.0, hysteresis: 0.0 };
+        let mut rng = DivotRng::seed_from_u64(seed);
+        let mut c = Comparator::new(&cfg, &mut rng);
+        // Far below never trips; far above always trips.
+        prop_assert!(!c.decide(v_ref - 20.0 * sigma, v_ref, &mut rng));
+        prop_assert!(c.decide(v_ref + 20.0 * sigma, v_ref, &mut rng));
+    }
+
+    #[test]
+    fn trigger_indices_are_valid_transitions(
+        symbols in proptest::collection::vec(0u8..2, 2..256),
+    ) {
+        let s = SymbolStream::from_symbols(LineCode::Nrz, symbols.clone());
+        for i in s.falling_edge_triggers() {
+            prop_assert!(symbols[i] > symbols[i + 1]);
+        }
+        for i in s.rising_edge_triggers() {
+            prop_assert!(symbols[i] < symbols[i + 1]);
+        }
+        // Together they cover every transition exactly once.
+        let transitions = symbols.windows(2).filter(|w| w[0] != w[1]).count();
+        prop_assert_eq!(
+            s.falling_edge_triggers().len() + s.rising_edge_triggers().len(),
+            transitions
+        );
+    }
+
+    #[test]
+    fn pll_offset_wraps_within_period(
+        steps in 1u64..10_000,
+        step_ps in 1.0f64..50.0,
+    ) {
+        let cfg = PllConfig {
+            phase_step: step_ps * 1e-12,
+            jitter_rms: 0.0,
+            clock_period: 6.4e-9,
+        };
+        let mut pll = PhaseSteppingPll::new(cfg);
+        for _ in 0..steps {
+            pll.step();
+        }
+        prop_assert!(pll.nominal_offset() < cfg.clock_period);
+        prop_assert!(pll.nominal_offset() >= 0.0);
+    }
+}

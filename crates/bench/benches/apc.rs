@@ -1,0 +1,51 @@
+//! Criterion benchmark: APC reconstruction-table construction and the
+//! modulated-CDF inversion it amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::apc::ReconstructionTable;
+use divot_core::pdm::effective_cdf;
+use divot_dsp::gaussian::ProbabilityMap;
+use std::hint::black_box;
+
+fn bench_table_build(c: &mut Criterion) {
+    let cdf = effective_cdf(&FrontEndConfig::default());
+    let mut group = c.benchmark_group("apc/table_build");
+    for reps in [21u32, 42, 210, 840] {
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, &reps| {
+            b.iter(|| black_box(ReconstructionTable::build(&cdf, reps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cdf_inversion(c: &mut Criterion) {
+    let cdf = effective_cdf(&FrontEndConfig::default());
+    c.bench_function("apc/voltage_inversion", |b| {
+        let mut p = 0.01f64;
+        b.iter(|| {
+            p = if p > 0.98 { 0.01 } else { p + 0.013 };
+            black_box(cdf.voltage(p))
+        })
+    });
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let cdf = effective_cdf(&FrontEndConfig::default());
+    let table = ReconstructionTable::build(&cdf, 42);
+    c.bench_function("apc/table_lookup", |b| {
+        let mut count = 0u32;
+        b.iter(|| {
+            count = (count + 7) % 43;
+            black_box(table.voltage(count))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table_build,
+    bench_cdf_inversion,
+    bench_table_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark: full iTDR measurements (the per-authentication
+//! cost), at the paper configuration and the fast test configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::channel::BusChannel;
+use divot_core::itdr::{Itdr, ItdrConfig};
+use divot_txline::board::{Board, BoardConfig};
+use std::hint::black_box;
+
+fn bench_measure(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let mut group = c.benchmark_group("itdr/measure");
+    group.sample_size(20);
+    for (name, cfg) in [("fast", ItdrConfig::fast()), ("paper", ItdrConfig::paper())] {
+        let mut ch = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 5);
+        let itdr = Itdr::new(cfg);
+        // Warm the response and table caches once (real systems do too).
+        let _ = itdr.measure(&mut ch);
+        group.bench_function(name, |b| b.iter(|| black_box(itdr.measure(&mut ch))));
+    }
+    group.finish();
+}
+
+fn bench_enroll(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let mut ch = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 5);
+    let itdr = Itdr::new(ItdrConfig::fast());
+    let _ = itdr.measure(&mut ch);
+    let mut group = c.benchmark_group("itdr/enroll");
+    group.sample_size(10);
+    group.bench_function("enroll_x8", |b| b.iter(|| black_box(itdr.enroll(&mut ch, 8))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure, bench_enroll);
+criterion_main!(benches);

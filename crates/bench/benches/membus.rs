@@ -1,0 +1,44 @@
+//! Criterion benchmark: cycle-level memory-system throughput with and
+//! without the DIVOT protection layer (the "no performance overhead"
+//! claim, measured in simulator wall-clock too).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use divot_core::itdr::ItdrConfig;
+use divot_core::monitor::MonitorConfig;
+use divot_membus::protect::ProtectionConfig;
+use divot_membus::sim::{SimConfig, Simulation};
+use std::hint::black_box;
+
+fn sim_config(enabled: bool) -> SimConfig {
+    SimConfig {
+        protection: ProtectionConfig {
+            monitor: MonitorConfig {
+                enroll_count: 4,
+                average_count: 2,
+                ..MonitorConfig::default()
+            },
+            itdr: ItdrConfig::fast(),
+            poll_interval: 10_000,
+            enabled,
+            ..ProtectionConfig::default()
+        },
+        cycles: 50_000,
+        seed: 3,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_protected_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membus/50k_cycles");
+    group.sample_size(10);
+    group.bench_function("protected", |b| {
+        b.iter(|| black_box(Simulation::new(sim_config(true)).run()))
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(Simulation::new(sim_config(false)).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protected_vs_baseline);
+criterion_main!(benches);

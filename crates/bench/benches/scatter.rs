@@ -1,0 +1,53 @@
+//! Criterion benchmark: the time-domain scattering engine (the physics
+//! kernel behind every response computation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divot_txline::attack::Attack;
+use divot_txline::board::{Board, BoardConfig};
+use divot_txline::scatter::{Network, SimConfig, Tap};
+use std::hint::black_box;
+
+fn bench_edge_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter/edge_response");
+    for segments in [128usize, 256, 512, 1024] {
+        let cfg = BoardConfig {
+            segments,
+            line_count: 1,
+            ..BoardConfig::paper_prototype()
+        };
+        let board = Board::fabricate(&cfg, 5);
+        let network = board.line(0).network();
+        let sim = SimConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &network,
+            |b, network| b.iter(|| black_box(network.edge_response(&sim))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tapped_response(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let clean = board.line(0).network();
+    let tapped = Attack::paper_wiretap().apply(&clean);
+    let two_taps = Network {
+        taps: vec![
+            tapped.taps[0].clone(),
+            Tap {
+                position: 0.25,
+                stub: divot_txline::scatter::StubSpec::oscilloscope_tap(),
+            },
+        ],
+        ..tapped.clone()
+    };
+    let sim = SimConfig::default();
+    let mut group = c.benchmark_group("scatter/taps");
+    for (name, net) in [("clean", &clean), ("one_tap", &tapped), ("two_taps", &two_taps)] {
+        group.bench_function(name, |b| b.iter(|| black_box(net.edge_response(&sim))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_response, bench_tapped_response);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Experiment harness shared by the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or quantitative claim
+//! of the DIVOT paper (see `DESIGN.md` §3 for the index). This library
+//! holds the common plumbing: building the prototype bench (board +
+//! channels + iTDRs), collecting genuine/impostor similarity scores in
+//! parallel, and printing histogram/table output in a stable,
+//! machine-greppable format.
+
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::channel::BusChannel;
+use divot_core::itdr::{Itdr, ItdrConfig};
+use divot_dsp::stats::Histogram;
+use divot_dsp::waveform::Waveform;
+use divot_txline::board::{Board, BoardConfig};
+use divot_txline::env::Environment;
+
+/// A reproducible experiment test bench: one fabricated board and the
+/// instrument settings used to measure it.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// The fabricated board.
+    pub board: Board,
+    /// The front-end configuration for every channel.
+    pub frontend: FrontEndConfig,
+    /// The instrument configuration.
+    pub itdr: ItdrConfig,
+    /// The ambient environment.
+    pub environment: Environment,
+    /// Master experiment seed.
+    pub seed: u64,
+}
+
+impl Bench {
+    /// The paper's prototype bench (six 25 cm lines, paper iTDR config).
+    pub fn paper_prototype(seed: u64) -> Self {
+        Self {
+            board: Board::fabricate(&BoardConfig::paper_prototype(), seed),
+            frontend: FrontEndConfig::default(),
+            itdr: ItdrConfig::paper(),
+            environment: Environment::room(),
+            seed,
+        }
+    }
+
+    /// A channel bound to line `i` of the board under the bench
+    /// environment.
+    pub fn channel(&self, i: usize) -> BusChannel {
+        let mut ch = BusChannel::new(
+            self.board.line(i).clone(),
+            self.frontend,
+            self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9),
+        );
+        ch.set_environment(self.environment);
+        ch
+    }
+
+    /// The instrument.
+    pub fn itdr(&self) -> Itdr {
+        Itdr::new(self.itdr)
+    }
+
+    /// Measure `count` IIPs on each line (in parallel across lines) and
+    /// return them per line.
+    pub fn measure_all(&self, count: usize) -> Vec<Vec<Waveform>> {
+        self.measure_all_spaced(count, 0.0)
+    }
+
+    /// Like [`Bench::measure_all`], but advances each channel's experiment
+    /// clock by `gap_seconds` between measurements — spreading the batch
+    /// across a time-varying environment (an oven swing, a vibration
+    /// chirp).
+    pub fn measure_all_spaced(&self, count: usize, gap_seconds: f64) -> Vec<Vec<Waveform>> {
+        let lines = self.board.line_count();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..lines)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut ch = self.channel(i);
+                        let itdr = self.itdr();
+                        (0..count)
+                            .map(|_| {
+                                let wf = itdr.measure(&mut ch);
+                                if gap_seconds > 0.0 {
+                                    ch.advance(divot_txline::units::Seconds(gap_seconds));
+                                }
+                                wf
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        })
+    }
+}
+
+/// Genuine and impostor similarity score sets.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreSets {
+    /// Same-line pair scores.
+    pub genuine: Vec<f64>,
+    /// Different-line pair scores.
+    pub impostor: Vec<f64>,
+}
+
+/// Compute genuine and impostor scores from *randomly sampled* pairs:
+/// genuine pairs are drawn within each line across the whole batch (so
+/// under a time-varying environment they span different conditions, as the
+/// paper's within-group pairing does), impostor pairs across lines.
+pub fn collect_scores_sampled(
+    measurements: &[Vec<Waveform>],
+    pairs_per_line: usize,
+    seed: u64,
+) -> ScoreSets {
+    let mut rng = divot_dsp::rng::DivotRng::derive(seed, 0x5C0E);
+    let mut sets = ScoreSets::default();
+    for per_line in measurements {
+        if per_line.len() < 2 {
+            continue;
+        }
+        for _ in 0..pairs_per_line {
+            let a = rng.index(per_line.len());
+            let mut b = rng.index(per_line.len());
+            while b == a {
+                b = rng.index(per_line.len());
+            }
+            sets.genuine
+                .push(divot_dsp::similarity::similarity(&per_line[a], &per_line[b]));
+        }
+    }
+    let lines = measurements.len();
+    if lines >= 2 {
+        let impostor_pairs = pairs_per_line * lines * 2;
+        for _ in 0..impostor_pairs {
+            let la = rng.index(lines);
+            let mut lb = rng.index(lines);
+            while lb == la {
+                lb = rng.index(lines);
+            }
+            let a = &measurements[la][rng.index(measurements[la].len())];
+            let b = &measurements[lb][rng.index(measurements[lb].len())];
+            sets.impostor.push(divot_dsp::similarity::similarity(a, b));
+        }
+    }
+    sets
+}
+
+/// Compute genuine (within-line consecutive pairs) and impostor
+/// (cross-line same-index pairs) similarity scores from per-line
+/// measurement sets.
+pub fn collect_scores(measurements: &[Vec<Waveform>]) -> ScoreSets {
+    let mut sets = ScoreSets::default();
+    for per_line in measurements {
+        for pair in per_line.windows(2) {
+            sets.genuine
+                .push(divot_dsp::similarity::similarity(&pair[0], &pair[1]));
+        }
+    }
+    for (a_idx, a) in measurements.iter().enumerate() {
+        for b in measurements.iter().skip(a_idx + 1) {
+            let n = a.len().min(b.len());
+            for k in 0..n {
+                sets.impostor
+                    .push(divot_dsp::similarity::similarity(&a[k], &b[k]));
+            }
+        }
+    }
+    sets
+}
+
+/// Everything produced by one Fig.-9-style tamper experiment.
+#[derive(Debug, Clone)]
+pub struct TamperExperiment {
+    /// The enrolled (clean) reference IIP.
+    pub reference: Waveform,
+    /// A second clean measurement (the dotted "no attack" traces).
+    pub clean_repeat: Waveform,
+    /// The measurement taken with the attack in place.
+    pub attacked: Waveform,
+    /// The calibrated detector used for the decision.
+    pub detector: divot_core::tamper::TamperDetector,
+    /// Scan of the clean repeat (noise floor trace).
+    pub clean_report: divot_core::tamper::TamperReport,
+    /// Scan of the attacked measurement.
+    pub attack_report: divot_core::tamper::TamperReport,
+}
+
+/// Run one tamper experiment on line 0 of the bench: enroll, calibrate the
+/// detector, apply `attack`, re-measure, and scan.
+pub fn run_tamper_experiment(
+    bench: &Bench,
+    attack: &divot_txline::attack::Attack,
+    averaging: usize,
+) -> TamperExperiment {
+    let mut ch = bench.channel(0);
+    let itdr = bench.itdr();
+    let fp = itdr.enroll(&mut ch, averaging);
+    let cleans: Vec<_> = (0..4)
+        .map(|_| itdr.measure_averaged(&mut ch, averaging))
+        .collect();
+    let detector = divot_core::tamper::TamperDetector::calibrated(
+        divot_core::tamper::TamperPolicy::default(),
+        fp.iip(),
+        &cleans,
+        4.0,
+    );
+    let clean_repeat = itdr.measure_averaged(&mut ch, averaging);
+    ch.apply_attack(attack);
+    let attacked = itdr.measure_averaged(&mut ch, averaging);
+    let clean_report = detector.scan(fp.iip(), &clean_repeat);
+    let attack_report = detector.scan(fp.iip(), &attacked);
+    TamperExperiment {
+        reference: fp.iip().clone(),
+        clean_repeat,
+        attacked,
+        detector,
+        clean_report,
+        attack_report,
+    }
+}
+
+/// Print an IIP / error waveform as `label | time_ns value` rows
+/// (subsampled to at most `max_rows`).
+pub fn print_waveform(label: &str, w: &Waveform, max_rows: usize) {
+    let stride = (w.len() / max_rows.max(1)).max(1);
+    for (t, v) in w.iter().step_by(stride) {
+        println!("{label} | {:.4} {:.6e}", t * 1e9, v);
+    }
+}
+
+/// Print a histogram as `label | bin_center count density` rows.
+pub fn print_histogram(label: &str, scores: &[f64], lo: f64, hi: f64, bins: usize) {
+    let mut h = Histogram::new(lo, hi, bins);
+    h.push_all(scores);
+    let dens = h.densities();
+    for (i, (center, count)) in h.iter().enumerate() {
+        println!("{label} | {center:.5} {count} {:.4}", dens[i]);
+    }
+}
+
+/// Print a `key = value` result row (the stable format EXPERIMENTS.md
+/// quotes).
+pub fn print_metric(key: &str, value: impl std::fmt::Display) {
+    println!("{key} = {value}");
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_channels_are_reproducible() {
+        let bench = Bench {
+            itdr: ItdrConfig::fast(),
+            ..Bench::paper_prototype(7)
+        };
+        let mut a = bench.channel(0);
+        let mut b = bench.channel(0);
+        let itdr = bench.itdr();
+        assert_eq!(itdr.measure(&mut a), itdr.measure(&mut b));
+    }
+
+    #[test]
+    fn collect_scores_counts_pairs() {
+        // 2 lines × 3 measurements: 2×2 genuine pairs, 3 impostor pairs.
+        let wf = |k: f64| Waveform::from_fn(0.0, 1.0, 8, |t| (t * k).sin());
+        let m = vec![
+            vec![wf(1.0), wf(1.01), wf(0.99)],
+            vec![wf(5.0), wf(5.01), wf(4.99)],
+        ];
+        let s = collect_scores(&m);
+        assert_eq!(s.genuine.len(), 4);
+        assert_eq!(s.impostor.len(), 3);
+        assert!(s.genuine.iter().all(|&x| x > 0.9));
+    }
+}

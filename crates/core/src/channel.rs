@@ -1,0 +1,290 @@
+//! The simulated bus channel an iTDR is attached to.
+//!
+//! A [`BusChannel`] binds together everything physical about one protected
+//! lane: the Tx-line network (with any attacks applied), the ambient
+//! environment, the drive-edge configuration, and the analog front end.
+//! Because the line is LTI (the property ETS relies on), the back-
+//! reflection response for a given physical state is computed once by the
+//! scattering engine and cached; the iTDR's thousands of comparator trials
+//! then sample the cached response — mirroring the physics, where every
+//! repeated edge produces the identical reflection.
+
+use crate::apc::ReconstructionTable;
+use crate::pdm::effective_cdf;
+use divot_analog::frontend::{FrontEnd, FrontEndConfig};
+use divot_dsp::rng::DivotRng;
+use divot_dsp::waveform::Waveform;
+use divot_txline::attack::Attack;
+use divot_txline::env::{EnvState, Environment};
+use divot_txline::scatter::{EdgeShape, Network, SimConfig, TxLine};
+use divot_txline::units::Seconds;
+use std::collections::HashMap;
+
+/// Maximum number of cached environmental response states before the cache
+/// is cleared (bounds memory under time-varying environments).
+const RESPONSE_CACHE_CAP: usize = 512;
+
+/// The analytic forward (incident) wave as seen at the coupler — used for
+/// the coupler's finite-directivity leakage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForwardWave {
+    amplitude: f64,
+    rise_time: f64,
+    shape: EdgeShape,
+}
+
+impl ForwardWave {
+    /// Incident-wave voltage at time `t` after edge launch.
+    pub fn at(&self, t: f64) -> f64 {
+        self.amplitude * self.shape.at(t / self.rise_time)
+    }
+}
+
+/// Split borrows of a channel needed during one measurement.
+#[derive(Debug)]
+pub struct MeasurementParts<'a> {
+    /// The cached back-reflection response for the current physical state.
+    pub response: &'a Waveform,
+    /// The analog front end (mutated per trigger).
+    pub frontend: &'a mut FrontEnd,
+    /// The analytic forward wave for leakage.
+    pub forward: ForwardWave,
+    /// RMS sampling jitter (from the PLL config).
+    pub jitter_rms: f64,
+    /// Channel-owned randomness for jitter sampling.
+    pub rng: &'a mut DivotRng,
+}
+
+/// One protected bus lane: line network + environment + drive + front end.
+#[derive(Debug, Clone)]
+pub struct BusChannel {
+    base_network: Network,
+    environment: Environment,
+    sim: SimConfig,
+    frontend: FrontEnd,
+    now: f64,
+    trigger_period: f64,
+    response_cache: HashMap<EnvState, Waveform>,
+    table_cache: HashMap<u32, ReconstructionTable>,
+    rng: DivotRng,
+}
+
+impl BusChannel {
+    /// Attach a front end to a Tx-line under room conditions with the
+    /// default drive edge.
+    pub fn new(line: TxLine, fe_config: FrontEndConfig, seed: u64) -> Self {
+        Self::from_network(
+            line.network(),
+            Environment::room(),
+            SimConfig::default(),
+            fe_config,
+            seed,
+        )
+    }
+
+    /// Full constructor.
+    pub fn from_network(
+        network: Network,
+        environment: Environment,
+        sim: SimConfig,
+        fe_config: FrontEndConfig,
+        seed: u64,
+    ) -> Self {
+        let trigger_period = fe_config.pll.clock_period;
+        Self {
+            base_network: network,
+            environment,
+            sim,
+            frontend: FrontEnd::new(fe_config, seed),
+            now: 0.0,
+            trigger_period,
+            response_cache: HashMap::new(),
+            table_cache: HashMap::new(),
+            rng: DivotRng::derive(seed, 0xC4A7),
+        }
+    }
+
+    /// The current (possibly attacked) network.
+    pub fn network(&self) -> &Network {
+        &self.base_network
+    }
+
+    /// The ambient environment.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// Replace the environment (clears the response cache).
+    pub fn set_environment(&mut self, env: Environment) {
+        self.environment = env;
+        self.response_cache.clear();
+    }
+
+    /// The drive-edge configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The front-end configuration.
+    pub fn frontend_config(&self) -> &FrontEndConfig {
+        self.frontend.config()
+    }
+
+    /// Experiment wall-clock time (seconds since channel creation).
+    pub fn now(&self) -> Seconds {
+        Seconds(self.now)
+    }
+
+    /// Advance the experiment clock (measurements call this; tests can use
+    /// it to move through environmental cycles).
+    pub fn advance(&mut self, dt: Seconds) {
+        assert!(dt.0 >= 0.0, "time cannot run backwards");
+        self.now += dt.0;
+    }
+
+    /// Seconds of bus time consumed per probe trigger (one clock period on
+    /// a clock-lane iTDR).
+    pub fn trigger_period(&self) -> f64 {
+        self.trigger_period
+    }
+
+    /// Apply a physical attack to the channel (mutates the network; clears
+    /// the response cache). Returns `self` time so scripted scenarios can
+    /// log when it happened.
+    pub fn apply_attack(&mut self, attack: &Attack) -> Seconds {
+        self.base_network = attack.apply(&self.base_network);
+        self.response_cache.clear();
+        self.now()
+    }
+
+    /// Replace the entire network (e.g. moving the memory module onto a
+    /// different computer's bus in a cold-boot attack).
+    pub fn replace_network(&mut self, network: Network) {
+        self.base_network = network;
+        self.response_cache.clear();
+    }
+
+    /// The count→voltage reconstruction table for `repetitions` triggers
+    /// per point, built from this channel's front-end model and cached.
+    pub fn reconstruction_table(&mut self, repetitions: u32) -> &ReconstructionTable {
+        let cfg = *self.frontend.config();
+        self.table_cache
+            .entry(repetitions)
+            .or_insert_with(|| ReconstructionTable::build(&effective_cdf(&cfg), repetitions))
+    }
+
+    /// Ensure the response for the current instant is cached, and hand out
+    /// the split borrows a measurement needs.
+    pub fn measurement_parts(&mut self) -> MeasurementParts<'_> {
+        let state = self.environment.state_at(Seconds(self.now));
+        if !self.response_cache.contains_key(&state) {
+            if self.response_cache.len() >= RESPONSE_CACHE_CAP {
+                self.response_cache.clear();
+            }
+            let net = self.environment.apply(&self.base_network, &state);
+            let wf = net.edge_response(&self.sim);
+            self.response_cache.insert(state, wf);
+        }
+        let z0 = self.base_network.main.profile.impedances()[0];
+        let divider = z0 / (self.sim.source_impedance.0 + z0);
+        let forward = ForwardWave {
+            amplitude: self.sim.amplitude.0 * divider,
+            rise_time: self.sim.rise_time.0,
+            shape: self.sim.shape,
+        };
+        let jitter_rms = self.frontend.config().pll.jitter_rms;
+        MeasurementParts {
+            response: self
+                .response_cache
+                .get(&state)
+                .expect("inserted above"),
+            frontend: &mut self.frontend,
+            forward,
+            jitter_rms,
+            rng: &mut self.rng,
+        }
+    }
+
+    /// Number of distinct cached environmental responses (observable for
+    /// tests and capacity planning).
+    pub fn cached_responses(&self) -> usize {
+        self.response_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divot_txline::board::{Board, BoardConfig};
+
+    fn channel() -> BusChannel {
+        let board = Board::fabricate(&BoardConfig::small_test(), 21);
+        BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 21)
+    }
+
+    #[test]
+    fn static_environment_caches_one_response() {
+        let mut ch = channel();
+        for _ in 0..5 {
+            let _ = ch.measurement_parts();
+            ch.advance(Seconds(1e-3));
+        }
+        assert_eq!(ch.cached_responses(), 1);
+    }
+
+    #[test]
+    fn vibrating_environment_caches_many() {
+        let mut ch = channel();
+        ch.set_environment(Environment::vibrating());
+        for _ in 0..50 {
+            let _ = ch.measurement_parts();
+            ch.advance(Seconds(3e-3));
+        }
+        assert!(ch.cached_responses() > 5);
+        assert!(ch.cached_responses() <= RESPONSE_CACHE_CAP);
+    }
+
+    #[test]
+    fn attack_invalidates_cache_and_changes_response() {
+        let mut ch = channel();
+        let before = ch.measurement_parts().response.clone();
+        ch.apply_attack(&Attack::paper_wiretap());
+        assert_eq!(ch.cached_responses(), 0);
+        let after = ch.measurement_parts().response.clone();
+        assert_ne!(before, after);
+        assert_eq!(ch.network().taps.len(), 1);
+    }
+
+    #[test]
+    fn forward_wave_matches_drive() {
+        let mut ch = channel();
+        let parts = ch.measurement_parts();
+        assert_eq!(parts.forward.at(0.0), 0.0);
+        let settled = parts.forward.at(1e-9);
+        // 0.9 V swing through a ~50/(50+50) divider.
+        assert!((settled - 0.45).abs() < 0.02, "settled={settled}");
+    }
+
+    #[test]
+    fn reconstruction_table_is_cached() {
+        let mut ch = channel();
+        let a = ch.reconstruction_table(21) as *const _;
+        let b = ch.reconstruction_table(21) as *const _;
+        assert_eq!(a, b);
+        assert_eq!(ch.reconstruction_table(21).repetitions(), 21);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut ch = channel();
+        assert_eq!(ch.now().0, 0.0);
+        ch.advance(Seconds(5e-6));
+        assert!((ch.now().0 - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "time cannot run backwards")]
+    fn rejects_negative_advance() {
+        channel().advance(Seconds(-1.0));
+    }
+}

@@ -1,0 +1,318 @@
+//! The integrated time-domain reflectometer.
+//!
+//! [`Itdr::measure`] runs the full measurement pipeline of paper §II on a
+//! [`BusChannel`]:
+//!
+//! 1. **ETS** walks the equivalent-time sample points across the
+//!    observation window (PLL phase stepping);
+//! 2. at each point, **APC** counts comparator 1s over `R` probe triggers
+//!    while **PDM** cycles the reference through the Vernier levels;
+//! 3. counts are turned back into voltages through the reconstruction ROM;
+//! 4. a light smoothing pass (a short FIR in hardware) yields the IIP
+//!    waveform.
+//!
+//! The result is the line's IIP signature: what gets enrolled at
+//! calibration time and compared at runtime.
+
+use crate::apc::TripCounter;
+use crate::channel::BusChannel;
+use crate::ets::EtsSchedule;
+use crate::fingerprint::Fingerprint;
+use divot_dsp::filter::moving_average;
+use divot_dsp::waveform::Waveform;
+use divot_txline::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one iTDR instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItdrConfig {
+    /// The equivalent-time sampling schedule.
+    pub ets: EtsSchedule,
+    /// Probe triggers per sample point (`R`). Must be a multiple of the
+    /// front end's Vernier period so every point sees the same balanced
+    /// mix of PDM reference levels.
+    pub repetitions: u32,
+    /// Half-width of the post-reconstruction moving-average smoother
+    /// (0 disables smoothing).
+    pub smoothing_half_width: usize,
+}
+
+impl ItdrConfig {
+    /// The prototype configuration: the paper's 0–3.8 ns window sampled
+    /// every second PLL phase step (22.32 ps grid, 171 points — the
+    /// response is band-limited by the 150 ps edge, so this loses
+    /// nothing), 42 triggers per point (two full Vernier cycles) —
+    /// 7,182 triggers ≈ 46 µs on the 156.25 MHz clock lane, inside the
+    /// paper's 50 µs claim.
+    pub fn paper() -> Self {
+        Self {
+            ets: EtsSchedule::new(0.0, 3.8e-9, 2.0 * 11.16e-12),
+            repetitions: 42,
+            smoothing_half_width: 2,
+        }
+    }
+
+    /// The embedded (production memory-bus) configuration: half the paper
+    /// configuration's ETS density (86 points, 3,612 triggers ≈ 23 µs at
+    /// 156.25 MHz; well under 1 µs on a GHz memory clock). Decisions at
+    /// this density should average ≥2 measurements (see
+    /// [`MonitorConfig`](crate::monitor::MonitorConfig)).
+    pub fn embedded() -> Self {
+        Self {
+            ets: EtsSchedule::new(0.0, 3.8e-9, 4.0 * 11.16e-12),
+            ..Self::paper()
+        }
+    }
+
+    /// A fast configuration for unit tests: 4× coarser time step than the
+    /// paper configuration.
+    pub fn fast() -> Self {
+        Self {
+            ets: EtsSchedule::new(0.0, 3.8e-9, 8.0 * 11.16e-12),
+            ..Self::paper()
+        }
+    }
+
+    /// A high-fidelity configuration trading time for accuracy: 420
+    /// triggers per point (~460 µs per measurement).
+    pub fn high_fidelity() -> Self {
+        Self {
+            repetitions: 420,
+            ..Self::paper()
+        }
+    }
+
+    /// Total probe triggers one measurement consumes.
+    pub fn total_triggers(&self) -> u64 {
+        self.ets.points() as u64 * self.repetitions as u64
+    }
+}
+
+/// The iTDR instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Itdr {
+    config: ItdrConfig,
+}
+
+impl Itdr {
+    /// Create an instrument with the given configuration.
+    pub fn new(config: ItdrConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ItdrConfig {
+        &self.config
+    }
+
+    /// Measure the channel's IIP waveform once.
+    ///
+    /// Consumes `total_triggers()` probe triggers of bus time (advancing
+    /// the channel clock) and returns the reconstructed IIP on the ETS
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is not a positive multiple of the front
+    /// end's Vernier period (unbalanced PDM level mixes would bias the
+    /// reconstruction).
+    pub fn measure(&self, channel: &mut BusChannel) -> Waveform {
+        let period = channel.frontend_config().vernier.period() as u32;
+        assert!(
+            self.config.repetitions > 0 && self.config.repetitions % period == 0,
+            "repetitions ({}) must be a positive multiple of the Vernier \
+             period ({period})",
+            self.config.repetitions
+        );
+        let table = channel.reconstruction_table(self.config.repetitions).clone();
+        let ets = self.config.ets;
+        let n_points = ets.points();
+        let mut volts = Vec::with_capacity(n_points);
+        {
+            let parts = channel.measurement_parts();
+            for n in 0..n_points {
+                let t_nominal = ets.time_of(n);
+                let mut counter = TripCounter::new();
+                for _ in 0..self.config.repetitions {
+                    parts.frontend.begin_trigger();
+                    let t = t_nominal + parts.rng.normal(0.0, parts.jitter_rms);
+                    let backward = parts.response.sample_at(t);
+                    let forward = parts.forward.at(t);
+                    counter.record(parts.frontend.observe(backward, forward, t));
+                }
+                volts.push(table.voltage(counter.count()));
+            }
+        }
+        channel.advance(Seconds(
+            self.config.total_triggers() as f64 * channel.trigger_period(),
+        ));
+        let wf = Waveform::new(ets.window_start, ets.tau, volts);
+        if self.config.smoothing_half_width > 0 {
+            moving_average(&wf, self.config.smoothing_half_width)
+        } else {
+            wf
+        }
+    }
+
+    /// Average `count` consecutive measurements (lower-noise IIP estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn measure_averaged(&self, channel: &mut BusChannel, count: usize) -> Waveform {
+        assert!(count > 0, "need at least one measurement");
+        let mut acc = self.measure(channel);
+        for _ in 1..count {
+            let next = self.measure(channel);
+            acc.try_add(&next).expect("same ETS grid");
+        }
+        acc.scale(1.0 / count as f64);
+        acc
+    }
+
+    /// Calibration-time enrollment: average `count` measurements into a
+    /// stored [`Fingerprint`] (what gets written to the EPROM, §III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn enroll(&self, channel: &mut BusChannel, count: usize) -> Fingerprint {
+        Fingerprint::new(self.measure_averaged(channel, count), count as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divot_analog::frontend::FrontEndConfig;
+    use divot_dsp::similarity::similarity;
+    use divot_txline::board::{Board, BoardConfig};
+
+    fn channel_for_line(board: &Board, i: usize, seed: u64) -> BusChannel {
+        BusChannel::new(board.line(i).clone(), FrontEndConfig::default(), seed)
+    }
+
+    #[test]
+    fn measurement_has_ets_grid() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let iip = itdr.measure(&mut ch);
+        assert_eq!(iip.len(), ItdrConfig::fast().ets.points());
+        assert!((iip.dt() - 8.0 * 11.16e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn measurement_advances_bus_time() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let cfg = ItdrConfig::fast();
+        itdr.measure(&mut ch);
+        let expect = cfg.total_triggers() as f64 * ch.trigger_period();
+        assert!((ch.now().0 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_measurements_of_same_line_are_similar() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let a = itdr.measure(&mut ch);
+        let b = itdr.measure(&mut ch);
+        let s = similarity(&a, &b);
+        assert!(s > 0.6, "genuine similarity should be high: {s}");
+    }
+
+    #[test]
+    fn different_lines_measure_differently() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch0 = channel_for_line(&board, 0, 1);
+        let mut ch1 = channel_for_line(&board, 1, 2);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let a = itdr.measure(&mut ch0);
+        let b = itdr.measure(&mut ch1);
+        let genuine = similarity(&a, &itdr.measure(&mut ch0));
+        let impostor = similarity(&a, &b);
+        assert!(
+            genuine > impostor + 0.05,
+            "genuine {genuine} should exceed impostor {impostor}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_tracks_the_true_response() {
+        // The reconstructed IIP should correlate strongly with the true
+        // (noise-free) detector-side waveform.
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let iip = itdr.measure_averaged(&mut ch, 8);
+        let gain = ch.frontend_config().coupler.backward_gain();
+        let half = itdr.config().smoothing_half_width;
+        let parts = ch.measurement_parts();
+        let truth = Waveform::from_fn(iip.t0(), iip.dt(), iip.len(), |t| {
+            gain * parts.response.sample_at(t)
+        });
+        // Compare against the truth seen through the same smoothing FIR.
+        let truth = divot_dsp::filter::moving_average(&truth, half);
+        let s = similarity(&truth, &iip);
+        assert!(s > 0.8, "reconstruction should track truth: {s}");
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        // Noise estimate: energy of the difference of two measurements.
+        let d1 = {
+            let mut a = itdr.measure(&mut ch);
+            let b = itdr.measure(&mut ch);
+            a.try_sub(&b).unwrap();
+            a.energy()
+        };
+        let d8 = {
+            let mut a = itdr.measure_averaged(&mut ch, 8);
+            let b = itdr.measure_averaged(&mut ch, 8);
+            a.try_sub(&b).unwrap();
+            a.energy()
+        };
+        assert!(
+            d8 < d1 / 3.0,
+            "8× averaging should cut noise energy ~8×: {d8} vs {d1}"
+        );
+    }
+
+    #[test]
+    fn enroll_produces_fingerprint() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let fp = itdr.enroll(&mut ch, 4);
+        assert_eq!(fp.enrollment_count(), 4);
+        assert_eq!(fp.iip().len(), ItdrConfig::fast().ets.points());
+    }
+
+    #[test]
+    fn paper_config_trigger_budget() {
+        let cfg = ItdrConfig::paper();
+        assert_eq!(cfg.ets.points(), 171);
+        assert_eq!(cfg.total_triggers(), 171 * 42);
+        // 7182 triggers at 156.25 MHz ≈ 46 µs < 50 µs (paper claim).
+        let t = cfg.total_triggers() as f64 / 156.25e6;
+        assert!(t < 50e-6, "t={t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive multiple of the Vernier")]
+    fn rejects_unbalanced_repetitions() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut ch = channel_for_line(&board, 0, 1);
+        let cfg = ItdrConfig {
+            repetitions: 20,
+            ..ItdrConfig::fast()
+        };
+        let _ = Itdr::new(cfg).measure(&mut ch);
+    }
+}

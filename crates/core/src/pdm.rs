@@ -1,0 +1,93 @@
+//! Building the effective (modulated) CDF used for reconstruction.
+//!
+//! Under PDM the comparator's reference cycles through the Vernier-visited
+//! levels of the modulation waveform, so the probability of a 1, as a
+//! function of signal voltage, is the *average* of Gaussian CDFs centered
+//! at those levels (paper Fig. 4). The digital side knows the levels (it
+//! generates the modulation) and the noise sigma (from self-calibration),
+//! so it can invert that effective CDF to recover voltages from counts.
+
+use divot_analog::frontend::FrontEndConfig;
+use divot_dsp::gaussian::DiscreteModulatedCdf;
+
+/// Construct the effective CDF model for a front end: the mixture of
+/// Gaussian CDFs at the PDM reference levels (with multiplicity), with the
+/// comparator's input-referred noise sigma.
+///
+/// # Panics
+///
+/// Panics if the front end reports a non-positive noise sigma (a noiseless
+/// comparator has a degenerate, step-like CDF that APC cannot invert — the
+/// paper's point that the noise is a *resource*).
+pub fn effective_cdf(config: &FrontEndConfig) -> DiscreteModulatedCdf {
+    let sigma = config.comparator.noise_sigma;
+    assert!(
+        sigma > 0.0,
+        "APC requires comparator noise; a noiseless comparator cannot be \
+         inverted (sigma = {sigma})"
+    );
+    DiscreteModulatedCdf::new(config.reference_levels(), sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divot_dsp::gaussian::ProbabilityMap;
+
+    #[test]
+    fn effective_cdf_spans_modulation_range() {
+        let cfg = FrontEndConfig::default();
+        let cdf = effective_cdf(&cfg);
+        let (lo, hi) = cfg.modulation.range();
+        // Far below the sweep: never trips; far above: always trips.
+        assert!(cdf.probability(lo - 0.05) < 1e-9);
+        assert!(cdf.probability(hi + 0.05) > 1.0 - 1e-9);
+        // Mid-sweep: near half.
+        let mid = 0.5 * (lo + hi);
+        assert!((cdf.probability(mid) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn effective_cdf_has_widened_linear_region() {
+        // Compared against a single-reference comparator, the modulated
+        // CDF keeps sensitivity well beyond ±2σ — the PDM claim (Fig. 4).
+        let cfg = FrontEndConfig::default();
+        let cdf = effective_cdf(&cfg);
+        let sigma = cfg.comparator.noise_sigma;
+        let (lo, hi) = cfg.modulation.range();
+        let center = 0.5 * (lo + hi);
+        let amp = 0.5 * (hi - lo);
+        // Probe half-way up the sweep — several σ from the center.
+        let v = center + 0.5 * amp;
+        assert!((v - center) / sigma > 2.0, "probe point must be beyond 2σ");
+        let plain = divot_dsp::gaussian::PlainCdf::new(center, sigma);
+        let plain_drop = plain.sensitivity(v) / plain.sensitivity(center);
+        let pdm_drop = cdf.sensitivity(v) / cdf.sensitivity(center);
+        assert!(plain_drop < 0.1, "plain comparator collapses: {plain_drop}");
+        assert!(
+            pdm_drop > 0.5,
+            "PDM keeps sensitivity across the sweep: {pdm_drop}"
+        );
+    }
+
+    #[test]
+    fn round_trip_voltages_through_counts() {
+        let cfg = FrontEndConfig::default();
+        let cdf = effective_cdf(&cfg);
+        for i in -8..=8 {
+            let v = 0.004 + i as f64 * 2e-3;
+            let p = cdf.probability(v);
+            if p > 0.01 && p < 0.99 {
+                assert!((cdf.voltage(p) - v).abs() < 1e-7, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "APC requires comparator noise")]
+    fn rejects_noiseless_comparator() {
+        let mut cfg = FrontEndConfig::default();
+        cfg.comparator.noise_sigma = 0.0;
+        let _ = effective_cdf(&cfg);
+    }
+}

@@ -1,0 +1,166 @@
+//! A small radix-2 FFT for frequency-domain cross-validation.
+//!
+//! Used to derive S-parameters from time-domain scattering responses (see
+//! `divot-txline`'s frequency-domain tests) and for spectral analysis of
+//! reconstructed IIPs. Not performance-critical — the iTDR itself never
+//! needs an FFT (that's the point of the architecture).
+
+/// A complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Magnitude of a complex value.
+pub fn magnitude(a: Complex) -> f64 {
+    (a.0 * a.0 + a.1 * a.1).sqrt()
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = c_mul(data[start + k + len / 2], w);
+                data[start + k] = c_add(u, v);
+                data[start + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded size).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().next_power_of_two().max(1);
+    let mut data: Vec<Complex> = signal.iter().map(|&x| (x, 0.0)).collect();
+    data.resize(n, (0.0, 0.0));
+    fft_in_place(&mut data);
+    data
+}
+
+/// The frequency (Hz) of spectrum bin `k` for a signal sampled at `dt`
+/// seconds with the given padded FFT size.
+pub fn bin_frequency(k: usize, fft_size: usize, dt: f64) -> f64 {
+    k as f64 / (fft_size as f64 * dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut sig = vec![0.0; 16];
+        sig[0] = 1.0;
+        let spec = fft_real(&sig);
+        for &bin in &spec {
+            assert!((magnitude(bin) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_concentrates_in_bin_zero() {
+        let spec = fft_real(&vec![2.0; 8]);
+        assert!((magnitude(spec[0]) - 16.0).abs() < 1e-12);
+        for &bin in &spec[1..] {
+            assert!(magnitude(bin) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&sig);
+        // Energy splits between bins k0 and n−k0.
+        assert!((magnitude(spec[k0]) - n as f64 / 2.0).abs() < 1e-9);
+        assert!((magnitude(spec[n - k0]) - n as f64 / 2.0).abs() < 1e-9);
+        assert!(magnitude(spec[k0 + 1]) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let sig: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let spec = fft_real(&sig);
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|&b| magnitude(b).powi(2)).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fsum = fft_real(&sum);
+        for k in 0..16 {
+            let expect = c_add(fa[k], fb[k]);
+            assert!((fsum[k].0 - expect.0).abs() < 1e-9);
+            assert!((fsum[k].1 - expect.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_pads_to_power_of_two() {
+        let spec = fft_real(&[1.0, 2.0, 3.0]);
+        assert_eq!(spec.len(), 4);
+    }
+
+    #[test]
+    fn bin_frequencies() {
+        // 1 ns sampling, 1024 bins: bin 1 = ~0.977 MHz... with dt=1e-9 and
+        // size 1024: f1 = 1/(1024e-9) ≈ 976.6 kHz.
+        let f = bin_frequency(1, 1024, 1e-9);
+        assert!((f - 976_562.5).abs() < 1.0);
+        assert_eq!(bin_frequency(0, 64, 1e-12), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft_in_place(&mut d);
+    }
+}

@@ -1,0 +1,137 @@
+//! Smoothing filters used on reconstructed IIP waveforms.
+//!
+//! The iTDR averages out comparator noise across repetitions, but residual
+//! per-point estimation noise remains; a light smoothing pass before
+//! similarity scoring matches what a hardware post-processing block (a short
+//! FIR) would do.
+
+use crate::waveform::Waveform;
+
+/// Centered moving-average filter of half-width `half` (window `2·half+1`),
+/// with edge windows shrunk symmetrically.
+///
+/// `half == 0` returns the input unchanged.
+pub fn moving_average(w: &Waveform, half: usize) -> Waveform {
+    if half == 0 || w.is_empty() {
+        return w.clone();
+    }
+    let s = w.samples();
+    let n = s.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = half.min(i).min(n - 1 - i);
+        let lo = i - k;
+        let hi = i + k;
+        let sum: f64 = s[lo..=hi].iter().sum();
+        out.push(sum / (hi - lo + 1) as f64);
+    }
+    Waveform::new(w.t0(), w.dt(), out)
+}
+
+/// Gaussian-kernel smoothing with standard deviation `sigma` expressed in
+/// samples. The kernel is truncated at ±4σ and renormalized at the edges.
+///
+/// `sigma <= 0` returns the input unchanged.
+pub fn gaussian_smooth(w: &Waveform, sigma: f64) -> Waveform {
+    if sigma <= 0.0 || w.is_empty() {
+        return w.clone();
+    }
+    let s = w.samples();
+    let n = s.len();
+    let radius = (4.0 * sigma).ceil() as usize;
+    let kernel: Vec<f64> = (0..=radius)
+        .map(|k| (-0.5 * (k as f64 / sigma).powi(2)).exp())
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = s[i] * kernel[0];
+        let mut norm = kernel[0];
+        for k in 1..=radius {
+            if i >= k {
+                acc += s[i - k] * kernel[k];
+                norm += kernel[k];
+            }
+            if i + k < n {
+                acc += s[i + k] * kernel[k];
+                norm += kernel[k];
+            }
+        }
+        out.push(acc / norm);
+    }
+    Waveform::new(w.t0(), w.dt(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DivotRng;
+
+    #[test]
+    fn moving_average_zero_half_is_identity() {
+        let w = Waveform::new(0.0, 1.0, vec![1.0, 5.0, -2.0]);
+        assert_eq!(moving_average(&w, 0).samples(), w.samples());
+    }
+
+    #[test]
+    fn moving_average_flattens_impulse() {
+        let w = Waveform::new(0.0, 1.0, vec![0.0, 0.0, 3.0, 0.0, 0.0]);
+        let f = moving_average(&w, 1);
+        assert_eq!(f.samples(), &[0.0, 1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_average_preserves_constant() {
+        let w = Waveform::new(0.0, 1.0, vec![2.0; 16]);
+        let f = moving_average(&w, 3);
+        for &v in f.samples() {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_mean() {
+        let w = Waveform::new(0.0, 1.0, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let f = moving_average(&w, 2);
+        // Symmetric shrinking windows preserve the total for linear data.
+        assert!((f.mean() - w.mean()).abs() < 0.3);
+    }
+
+    #[test]
+    fn gaussian_smooth_reduces_noise_energy() {
+        let mut rng = DivotRng::seed_from_u64(9);
+        let w = Waveform::from_fn(0.0, 1.0, 512, |_| rng.normal(0.0, 1.0));
+        let f = gaussian_smooth(&w, 2.0);
+        assert!(f.energy() < 0.5 * w.energy());
+    }
+
+    #[test]
+    fn gaussian_smooth_zero_sigma_is_identity() {
+        let w = Waveform::new(0.0, 1.0, vec![1.0, -1.0, 2.0]);
+        assert_eq!(gaussian_smooth(&w, 0.0).samples(), w.samples());
+    }
+
+    #[test]
+    fn gaussian_smooth_preserves_constant() {
+        let w = Waveform::new(0.0, 1.0, vec![3.0; 32]);
+        let f = gaussian_smooth(&w, 1.5);
+        for &v in f.samples() {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filters_keep_grid() {
+        let w = Waveform::new(2.0, 0.25, vec![0.0; 8]);
+        let f = gaussian_smooth(&w, 1.0);
+        assert_eq!(f.t0(), 2.0);
+        assert_eq!(f.dt(), 0.25);
+        assert_eq!(f.len(), 8);
+    }
+
+    #[test]
+    fn empty_waveform_passthrough() {
+        let w = Waveform::zeros(0.0, 1.0, 0);
+        assert!(moving_average(&w, 3).is_empty());
+        assert!(gaussian_smooth(&w, 1.0).is_empty());
+    }
+}

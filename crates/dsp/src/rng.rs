@@ -1,0 +1,313 @@
+//! Deterministic randomness for reproducible experiments.
+//!
+//! Every stochastic object in the DIVOT simulation (fabrication variation,
+//! comparator noise, PLL jitter, workload generation, attack parameters)
+//! draws from a [`DivotRng`] seeded explicitly, so every experiment in
+//! `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mix a 64-bit seed through SplitMix64 — used to derive independent
+/// sub-seeds from one experiment seed without correlation.
+///
+/// ```
+/// let a = divot_dsp::rng::mix_seed(42, 0);
+/// let b = divot_dsp::rng::mix_seed(42, 1);
+/// assert_ne!(a, b);
+/// ```
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded random source with the distributions the simulation needs.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds a polar Box–Muller standard-normal
+/// sampler (with spare caching), so no external distribution crate is
+/// required.
+#[derive(Debug, Clone)]
+pub struct DivotRng {
+    inner: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl DivotRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator for stream `stream`.
+    ///
+    /// Children derived with different stream ids from the same parent seed
+    /// are statistically independent (SplitMix64 mixing).
+    pub fn derive(seed: u64, stream: u64) -> Self {
+        Self::seed_from_u64(mix_seed(seed, stream))
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty interval [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// Fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.inner.random::<bool>()
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via the polar (Marsaglia) method.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Normal sample with the given mean and sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        mean + sigma * self.standard_normal()
+    }
+
+    /// Fill `out` with i.i.d. `N(0, sigma²)` samples.
+    pub fn fill_normal(&mut self, out: &mut [f64], sigma: f64) {
+        for v in out {
+            *v = self.normal(0.0, sigma);
+        }
+    }
+}
+
+/// A stationary Ornstein–Uhlenbeck (exponentially correlated Gaussian)
+/// process, sampled on a uniform grid.
+///
+/// This is the spatial model for manufacturing variation along a Tx-line:
+/// impedance deviations at nearby positions are correlated over a
+/// *correlation length* (trace-width-scale geometry variation, resin-pool
+/// scale dielectric variation), but decorrelate over longer distances. The
+/// exact discrete update for grid step `dx` and correlation length `ell` is
+///
+/// ```text
+/// x[k+1] = ρ·x[k] + σ·√(1−ρ²)·N(0,1),   ρ = exp(−dx/ell)
+/// ```
+///
+/// which keeps the process stationary with marginal `N(0, σ²)` at every
+/// sample — so the IIP "contrast" statistics don't depend on line length.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    sigma: f64,
+    rho: f64,
+    state: f64,
+    rng: DivotRng,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Create a stationary OU process.
+    ///
+    /// * `sigma` — marginal standard deviation of each sample.
+    /// * `correlation_length` — e-folding distance of the autocorrelation,
+    ///   in the same unit as `step`.
+    /// * `step` — grid spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(sigma: f64, correlation_length: f64, step: f64, mut rng: DivotRng) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        assert!(
+            correlation_length > 0.0,
+            "correlation_length must be positive, got {correlation_length}"
+        );
+        assert!(step > 0.0, "step must be positive, got {step}");
+        let rho = (-step / correlation_length).exp();
+        // Start in the stationary distribution.
+        let state = rng.normal(0.0, sigma);
+        Self {
+            sigma,
+            rho,
+            state,
+            rng,
+        }
+    }
+
+    /// The one-step autocorrelation `ρ = exp(−step/ell)`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Draw the next sample of the process.
+    pub fn next_sample(&mut self) -> f64 {
+        let innovation = self.sigma * (1.0 - self.rho * self.rho).sqrt();
+        self.state = self.rho * self.state + self.rng.normal(0.0, innovation);
+        self.state
+    }
+
+    /// Generate `n` consecutive samples.
+    pub fn take_samples(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = DivotRng::seed_from_u64(7);
+        let mut b = DivotRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = DivotRng::derive(7, 0);
+        let mut b = DivotRng::derive(7, 1);
+        let same = (0..64).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DivotRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..200_000).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = stats::mean(&xs);
+        let sd = stats::std_dev(&xs);
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((sd - 3.0).abs() < 0.05, "sd={sd}");
+    }
+
+    #[test]
+    fn normal_tail_fraction() {
+        // ~2.28% of standard normal mass lies above 2.
+        let mut rng = DivotRng::seed_from_u64(13);
+        let n = 200_000;
+        let above = (0..n).filter(|_| rng.standard_normal() > 2.0).count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.0228).abs() < 0.003, "frac={frac}");
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut rng = DivotRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.uniform_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = DivotRng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        assert!(((hits as f64 / n as f64) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn ou_is_stationary() {
+        let rng = DivotRng::seed_from_u64(17);
+        let mut ou = OrnsteinUhlenbeck::new(0.5, 10.0, 1.0, rng);
+        let xs = ou.take_samples(100_000);
+        let sd = stats::std_dev(&xs);
+        assert!((sd - 0.5).abs() < 0.02, "sd={sd}");
+        assert!(stats::mean(&xs).abs() < 0.05);
+    }
+
+    #[test]
+    fn ou_autocorrelation_matches_rho() {
+        let rng = DivotRng::seed_from_u64(19);
+        let mut ou = OrnsteinUhlenbeck::new(1.0, 5.0, 1.0, rng);
+        let xs = ou.take_samples(200_000);
+        let mean = stats::mean(&xs);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..xs.len() - 1 {
+            num += (xs[i] - mean) * (xs[i + 1] - mean);
+            den += (xs[i] - mean) * (xs[i] - mean);
+        }
+        let r1 = num / den;
+        let want = (-1.0f64 / 5.0).exp();
+        assert!((r1 - want).abs() < 0.01, "r1={r1} want={want}");
+    }
+
+    #[test]
+    fn ou_short_correlation_is_nearly_white() {
+        let rng = DivotRng::seed_from_u64(23);
+        let mut ou = OrnsteinUhlenbeck::new(1.0, 0.01, 1.0, rng);
+        let xs = ou.take_samples(50_000);
+        let mean = stats::mean(&xs);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..xs.len() - 1 {
+            num += (xs[i] - mean) * (xs[i + 1] - mean);
+            den += (xs[i] - mean) * (xs[i] - mean);
+        }
+        assert!((num / den).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn uniform_in_rejects_empty() {
+        DivotRng::seed_from_u64(0).uniform_in(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn bernoulli_rejects_bad_p() {
+        DivotRng::seed_from_u64(0).bernoulli(1.5);
+    }
+}

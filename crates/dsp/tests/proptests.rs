@@ -1,0 +1,188 @@
+//! Property-based tests of the numeric substrate's invariants.
+
+use divot_dsp::gaussian::{DiscreteModulatedCdf, PlainCdf, ProbabilityMap, TriangleModulatedCdf};
+use divot_dsp::similarity::{cosine, error_function, similarity};
+use divot_dsp::stats::{Accumulator, Histogram};
+use divot_dsp::waveform::Waveform;
+use divot_dsp::{erf, RocCurve};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = f64> {
+    (-1e3f64..1e3).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn erf_bounded_and_odd(x in -50.0f64..50.0) {
+        let v = erf::erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((v + erf::erf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -30.0f64..30.0) {
+        prop_assert!((erf::erf(x) + erf::erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probit_inverts_cdf(x in -5.0f64..5.0) {
+        let p = divot_dsp::gaussian::std_cdf(x);
+        prop_assert!((erf::probit(p) - x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn plain_cdf_round_trips(
+        reference in -0.1f64..0.1,
+        sigma in 1e-4f64..1e-2,
+        offset in -3.0f64..3.0,
+    ) {
+        let m = PlainCdf::new(reference, sigma);
+        let v = reference + offset * sigma;
+        let p = m.probability(v);
+        prop_assert!((m.voltage(p) - v).abs() < 1e-8 * (1.0 + v.abs()));
+    }
+
+    #[test]
+    fn triangle_cdf_monotone_and_invertible(
+        center in -0.05f64..0.05,
+        amp in 1e-3f64..0.05,
+        sigma in 1e-4f64..5e-3,
+        frac in -0.9f64..0.9,
+    ) {
+        let m = TriangleModulatedCdf::new(center, amp, sigma);
+        // Monotone on a coarse grid.
+        let mut prev = -1.0;
+        for i in 0..40 {
+            let v = center - amp - 3.0 * sigma
+                + (2.0 * amp + 6.0 * sigma) * i as f64 / 39.0;
+            let p = m.probability(v);
+            prop_assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        // Invertible inside the sweep.
+        let v = center + frac * amp;
+        let p = m.probability(v);
+        prop_assert!((m.voltage(p) - v).abs() < 1e-7);
+    }
+
+    #[test]
+    fn discrete_cdf_round_trips_near_levels(
+        levels in proptest::collection::vec(-0.02f64..0.02, 1..12),
+        sigma in 5e-4f64..5e-3,
+        which in 0usize..12,
+        offset in -1.5f64..1.5,
+    ) {
+        // Inversion is well-conditioned where the mixture has sensitivity:
+        // within ~2σ of a reference level. (Between widely spaced levels
+        // the CDF plateaus and any voltage on the plateau is equivalent —
+        // that is the dynamic-range limit PDM level spacing controls.)
+        let m = DiscreteModulatedCdf::new(levels.clone(), sigma);
+        let v = levels[which % levels.len()] + offset * sigma;
+        let p = m.probability(v);
+        prop_assert!((m.voltage(p) - v).abs() < 1e-6, "v={v}");
+    }
+
+    #[test]
+    fn cosine_bounded(
+        xs in proptest::collection::vec(finite_sample(), 2..64),
+        ys in proptest::collection::vec(finite_sample(), 2..64),
+    ) {
+        let n = xs.len().min(ys.len());
+        let c = cosine(&xs[..n], &ys[..n]);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&c));
+        // Symmetric.
+        prop_assert!((c - cosine(&ys[..n], &xs[..n])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_self_is_one_and_bounded(
+        xs in proptest::collection::vec(finite_sample(), 3..64),
+    ) {
+        let w = Waveform::new(0.0, 1.0, xs);
+        let s = similarity(&w, &w);
+        // Constant waveforms have zero energy after mean removal → 0.
+        prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_function_nonnegative_and_symmetric(
+        xs in proptest::collection::vec(finite_sample(), 2..64),
+        ys in proptest::collection::vec(finite_sample(), 2..64),
+    ) {
+        let n = xs.len().min(ys.len());
+        let a = Waveform::new(0.0, 1.0, xs[..n].to_vec());
+        let b = Waveform::new(0.0, 1.0, ys[..n].to_vec());
+        let e1 = error_function(&a, &b);
+        let e2 = error_function(&b, &a);
+        prop_assert!(e1.samples().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(e1.samples(), e2.samples());
+    }
+
+    #[test]
+    fn roc_invariants(
+        genuine in proptest::collection::vec(0.0f64..1.0, 2..64),
+        impostor in proptest::collection::vec(0.0f64..1.0, 2..64),
+    ) {
+        let roc = RocCurve::from_scores(&genuine, &impostor);
+        prop_assert!((0.0..=1.0).contains(&roc.eer()));
+        prop_assert!((0.0..=1.0).contains(&roc.auc()));
+        // Rates monotone non-increasing in threshold.
+        for w in roc.points().windows(2) {
+            prop_assert!(w[1].fpr <= w[0].fpr + 1e-12);
+            prop_assert!(w[1].tpr <= w[0].tpr + 1e-12);
+        }
+        // Endpoints.
+        prop_assert_eq!(roc.points()[0].fpr, 1.0);
+        prop_assert_eq!(roc.points().last().unwrap().tpr, 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(
+        xs in proptest::collection::vec(-10.0f64..10.0, 0..256),
+        bins in 1usize..32,
+    ) {
+        let mut h = Histogram::new(-5.0, 5.0, bins);
+        h.push_all(&xs);
+        prop_assert_eq!(h.total() as usize, xs.len());
+        let in_range: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_stats(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..128),
+    ) {
+        let acc: Accumulator = xs.iter().copied().collect();
+        prop_assert!((acc.mean() - divot_dsp::stats::mean(&xs)).abs() < 1e-9);
+        prop_assert!(
+            (acc.variance() - divot_dsp::stats::variance(&xs)).abs()
+                < 1e-6 * (1.0 + acc.variance())
+        );
+    }
+
+    #[test]
+    fn waveform_resample_identity(
+        xs in proptest::collection::vec(finite_sample(), 2..64),
+        dt in 1e-12f64..1e-9,
+    ) {
+        let w = Waveform::new(0.0, dt, xs);
+        let r = w.resampled(w.t0(), w.dt(), w.len());
+        for (a, b) in w.samples().iter().zip(r.samples()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn moving_average_bounded_by_extremes(
+        xs in proptest::collection::vec(finite_sample(), 1..64),
+        half in 0usize..8,
+    ) {
+        let w = Waveform::new(0.0, 1.0, xs.clone());
+        let f = divot_dsp::filter::moving_average(&w, half);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in f.samples() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! DIVOT on a serial I/O link — the paper's §VI future-work direction
+//! ("extending the DIVOT design to I/O buses, network interfaces, and
+//! data storage systems").
+//!
+//! A memory bus gave DIVOT a free, perfectly periodic probe (the clock
+//! lane). A serial link is harder and more general: the only waveform on
+//! the wire is the (scrambled, DC-balanced) data itself, so the iTDR must
+//! trigger on the §II-E falling-edge rule, accumulating triggers at a rate
+//! set by the traffic — and the security loop rides on frames rather than
+//! column accesses:
+//!
+//! * [`frame`] — a minimal framing layer (sequence numbers + CRC-16), so
+//!   the simulation has real payloads whose exposure can be counted.
+//! * [`link`] — the protected link: two endpoints on one physical
+//!   Tx-line channel, each with a DIVOT monitor; frames flow only while
+//!   both monitors trust the wire, and an alarm drops the link (the
+//!   §III "reaction", transplanted).
+//! * [`sim`] — traffic + attack scenarios + exposure accounting: how many
+//!   frames crossed the wire between a tap's insertion and the link
+//!   dropping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod link;
+pub mod sim;
+
+pub use frame::{DecodeFrameError, Frame};
+pub use link::{LinkConfig, LinkEvent, LinkState, ProtectedLink};
+pub use sim::{LinkScenarioEvent, LinkSim, LinkSimConfig, LinkStats};

@@ -1,0 +1,39 @@
+//! The §III example design: a DDR-lite memory system protected by DIVOT.
+//!
+//! The paper's Fig. 6 integrates an iTDR into both ends of an off-chip
+//! memory bus: the CPU's memory controller authenticates the SDRAM module
+//! (and watches for probes), while the SDRAM module authenticates the CPU
+//! and *gates the column access* on the authentication result, so
+//! unauthorized requests — a cold-boot attacker's controller, a swapped
+//! module, a foreign bus — never reach the array.
+//!
+//! This crate is a cycle-level model of that system:
+//!
+//! * [`request`] — memory requests and physical address mapping.
+//! * [`command`] — the DRAM command set.
+//! * [`dram`] — the SDRAM module: banks, rows, timing state machines, and
+//!   a sparse backing store so data correctness is checkable end-to-end.
+//! * [`scheduler`] — request queue with an FR-FCFS arbiter and refresh.
+//! * [`controller`] — the CPU-side memory controller.
+//! * [`protect`] — the DIVOT integration: two [`BusMonitor`]s sharing the
+//!   physical bus channel, CAS gating, attack scripting, and detection-
+//!   latency accounting.
+//! * [`workload`] — synthetic traces (sequential, random, row-hog, mixed).
+//! * [`sim`] — the cycle loop and statistics.
+//!
+//! [`BusMonitor`]: divot_core::monitor::BusMonitor
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod controller;
+pub mod dram;
+pub mod protect;
+pub mod request;
+pub mod scheduler;
+pub mod sim;
+pub mod workload;
+
+pub use protect::{ProtectedMemorySystem, ProtectionConfig, ScenarioEvent};
+pub use sim::{SimConfig, SimStats, Simulation};

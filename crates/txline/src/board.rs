@@ -1,0 +1,211 @@
+//! Fabrication of whole boards: families of Tx-lines from one process.
+//!
+//! The paper's prototype (§IV-A) is a custom 6-layer PCB carrying six 25 cm
+//! Tx-lines used as devices under test. [`Board::fabricate`] reproduces
+//! that: six lines drawn from the same [`FabricationProcess`] (so they share
+//! connector discontinuities and nominal impedance — the *impostor* pairs of
+//! Fig. 7(a) are similar-but-distinguishable), each terminated by its own
+//! receiver-chip die (same part number, per-die process variation).
+
+use crate::iip::FabricationProcess;
+use crate::scatter::TxLine;
+use crate::termination::{ChipInput, Termination};
+use crate::units::{Farads, Meters, Ohms};
+use divot_dsp::rng::DivotRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a board build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardConfig {
+    /// The PCB fabrication process.
+    pub process: FabricationProcess,
+    /// Physical length of each line.
+    pub line_length: Meters,
+    /// Spatial discretization of each line (segments).
+    pub segments: usize,
+    /// Number of Tx-lines on the board.
+    pub line_count: usize,
+    /// Nominal receiver chip terminating each line.
+    pub chip: ChipInput,
+    /// Per-die relative spread of the receiver chip's R and C.
+    pub chip_spread: f64,
+}
+
+impl BoardConfig {
+    /// The paper's prototype: six 25 cm lines at 512-segment resolution
+    /// (≈0.49 mm per segment, finer than the 0.837 mm ETS spatial
+    /// resolution). The paper's lines are *terminated* — we model a
+    /// matched 50 Ω on-die termination with low-capacitance pads (0.25 pF)
+    /// and 2 % die spread: the nominal echo cancels, and what remains of
+    /// the termination reflection is the per-die residual, itself part of
+    /// the line's fingerprint.
+    pub fn paper_prototype() -> Self {
+        Self {
+            process: FabricationProcess::paper_prototype(),
+            line_length: Meters(0.25),
+            segments: 512,
+            line_count: 6,
+            chip: ChipInput {
+                resistance: Ohms(50.0),
+                capacitance: Farads(0.25e-12),
+            },
+            chip_spread: 0.02,
+        }
+    }
+
+    /// A reduced-resolution variant for fast tests (256 segments, 2 lines).
+    pub fn small_test() -> Self {
+        Self {
+            segments: 256,
+            line_count: 2,
+            ..Self::paper_prototype()
+        }
+    }
+}
+
+/// A fabricated board: a family of distinct Tx-lines from one process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Board {
+    lines: Vec<TxLine>,
+    seed: u64,
+}
+
+impl Board {
+    /// Fabricate a board with the given config and seed. The same
+    /// `(config, seed)` always yields the identical board; different seeds
+    /// yield different boards (different fabs / different panel positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.line_count == 0` or `config.segments == 0`.
+    pub fn fabricate(config: &BoardConfig, seed: u64) -> Self {
+        assert!(config.line_count > 0, "board needs at least one line");
+        let lines = (0..config.line_count)
+            .map(|i| {
+                let profile = config.process.sample_profile(
+                    config.line_length,
+                    config.segments,
+                    seed,
+                    i as u64,
+                );
+                let mut chip_rng = DivotRng::derive(seed, 0xC41F_0000 | i as u64);
+                let chip = config.chip.process_variant(config.chip_spread, &mut chip_rng);
+                TxLine::new(profile, Termination::Chip(chip))
+            })
+            .collect();
+        Self { lines, seed }
+    }
+
+    /// Number of lines on the board.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Access line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn line(&self, i: usize) -> &TxLine {
+        &self.lines[i]
+    }
+
+    /// Iterate over all lines.
+    pub fn lines(&self) -> impl Iterator<Item = &TxLine> {
+        self.lines.iter()
+    }
+
+    /// The fabrication seed of this board.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A foreign replacement chip (same part number, different lot) — the
+    /// kind an attacker solders in during a Trojan/cold-boot swap.
+    pub fn foreign_chip(&self, attack_seed: u64) -> ChipInput {
+        let mut rng = DivotRng::derive(self.seed ^ 0xDEAD_BEEF, attack_seed);
+        ChipInput::typical_sdram().process_variant(0.05, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::SimConfig;
+    use divot_dsp::similarity::similarity;
+
+    #[test]
+    fn fabrication_is_deterministic() {
+        let cfg = BoardConfig::small_test();
+        let a = Board::fabricate(&cfg, 42);
+        let b = Board::fabricate(&cfg, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = BoardConfig::small_test();
+        let a = Board::fabricate(&cfg, 1);
+        let b = Board::fabricate(&cfg, 2);
+        assert_ne!(
+            a.line(0).profile.impedances(),
+            b.line(0).profile.impedances()
+        );
+    }
+
+    #[test]
+    fn paper_prototype_has_six_lines() {
+        let board = Board::fabricate(&BoardConfig::paper_prototype(), 7);
+        assert_eq!(board.line_count(), 6);
+        assert_eq!(board.lines().count(), 6);
+        for line in board.lines() {
+            assert!((line.profile.length().0 - 0.25).abs() < 1e-9);
+            assert_eq!(line.profile.len(), 512);
+        }
+    }
+
+    #[test]
+    fn each_line_has_its_own_chip() {
+        let board = Board::fabricate(&BoardConfig::paper_prototype(), 7);
+        let t0 = board.line(0).termination;
+        let t1 = board.line(1).termination;
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn lines_are_similar_but_distinguishable() {
+        // The impostor structure of Fig. 7(a): shared connectors and
+        // similar terminations make responses correlated, but the unique
+        // IIPs keep them clearly below genuine similarity.
+        let board = Board::fabricate(&BoardConfig::small_test(), 9);
+        let cfg = SimConfig::default();
+        let w0 = board.line(0).network().edge_response(&cfg);
+        let w1 = board.line(1).network().edge_response(&cfg);
+        let s = similarity(&w0, &w1);
+        assert!(s > 0.3, "impostor lines share gross structure: {s}");
+        assert!(s < 0.999, "but are distinguishable: {s}");
+    }
+
+    #[test]
+    fn foreign_chip_differs_from_installed() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 9);
+        let foreign = board.foreign_chip(1);
+        if let Termination::Chip(installed) = board.line(0).termination {
+            assert_ne!(foreign, installed);
+        } else {
+            panic!("expected chip termination");
+        }
+        // Different attack seeds produce different foreign chips.
+        assert_ne!(board.foreign_chip(1), board.foreign_chip(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "board needs at least one line")]
+    fn rejects_empty_board() {
+        let cfg = BoardConfig {
+            line_count: 0,
+            ..BoardConfig::small_test()
+        };
+        let _ = Board::fabricate(&cfg, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the transmission-line physics invariants.
+
+use divot_txline::iip::{FabricationProcess, IipProfile};
+use divot_txline::scatter::{SimConfig, TxLine};
+use divot_txline::termination::Termination;
+use divot_txline::units::{Meters, Ohms, Seconds, Volts};
+use proptest::prelude::*;
+
+fn small_line(seed: u64, segments: usize, termination: Termination) -> TxLine {
+    let process = FabricationProcess::paper_prototype();
+    let profile = process.sample_profile(Meters(0.25), segments, seed, 0);
+    TxLine::new(profile, termination)
+}
+
+fn fast_sim() -> SimConfig {
+    SimConfig {
+        rise_time: Seconds(100e-12),
+        duration_factor: 2.4,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reflection_coefficients_are_physical(
+        z in proptest::collection::vec(10.0f64..200.0, 2..64),
+        source in 10.0f64..200.0,
+    ) {
+        let profile = IipProfile::new(z, Meters(0.001));
+        for k in 0..profile.len() {
+            let rho = profile.reflection_at(k, Ohms(source));
+            prop_assert!(rho.abs() < 1.0, "k={k} rho={rho}");
+        }
+    }
+
+    #[test]
+    fn contrast_invariant_under_uniform_scaling(
+        seed in 0u64..1000,
+        factor in 0.8f64..1.2,
+    ) {
+        let process = FabricationProcess::paper_prototype();
+        let mut profile = process.sample_profile(Meters(0.25), 128, seed, 0);
+        let before = profile.contrast();
+        profile.scale_impedance(factor);
+        prop_assert!((profile.contrast() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passivity_reflected_never_exceeds_incident(
+        seed in 0u64..200,
+        term_kind in 0usize..4,
+    ) {
+        let termination = match term_kind {
+            0 => Termination::Matched,
+            1 => Termination::Open,
+            2 => Termination::Short,
+            _ => Termination::Resistive(Ohms(75.0)),
+        };
+        let line = small_line(seed, 96, termination);
+        let cfg = fast_sim();
+        let incident = cfg.amplitude.0
+            * line.profile.impedances()[0]
+            / (cfg.source_impedance.0 + line.profile.impedances()[0]);
+        let w = line.network().edge_response(&cfg);
+        prop_assert!(w.peak() <= incident * 1.001, "peak {} vs incident {incident}", w.peak());
+    }
+
+    #[test]
+    fn lti_homogeneity(seed in 0u64..200, scale in 0.2f64..3.0) {
+        let line = small_line(seed, 96, Termination::Resistive(Ohms(60.0)));
+        let cfg1 = fast_sim();
+        let cfg2 = SimConfig {
+            amplitude: Volts(cfg1.amplitude.0 * scale),
+            ..cfg1
+        };
+        let w1 = line.network().edge_response(&cfg1);
+        let w2 = line.network().edge_response(&cfg2);
+        for (a, b) in w1.samples().iter().zip(w2.samples()) {
+            prop_assert!((a * scale - b).abs() < 1e-10 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn response_is_causal(seed in 0u64..200) {
+        // No backscatter can arrive before the first segment's round trip.
+        let line = small_line(seed, 96, Termination::Open);
+        let w = line.network().edge_response(&fast_sim());
+        prop_assert_eq!(w[0], 0.0);
+    }
+
+    #[test]
+    fn bump_only_changes_its_neighborhood(
+        center in 0.2f64..0.8,
+        amp in -0.05f64..0.05,
+    ) {
+        let mut profile = IipProfile::uniform(Ohms(50.0), Meters(0.25), 200);
+        profile.add_bump(center, 0.05, amp);
+        let z = profile.impedances();
+        for (k, &zk) in z.iter().enumerate() {
+            let pos = (k as f64 + 0.5) / 200.0;
+            if (pos - center).abs() > 0.05 {
+                prop_assert!((zk - 50.0).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_responses(a in 0u64..500, b in 0u64..500) {
+        prop_assume!(a != b);
+        let la = small_line(a, 96, Termination::Matched);
+        let lb = small_line(b, 96, Termination::Matched);
+        let wa = la.network().edge_response(&fast_sim());
+        let wb = lb.network().edge_response(&fast_sim());
+        prop_assert!(wa != wb);
+    }
+
+    #[test]
+    fn resistive_reflector_dc_value(r in 1.0f64..500.0, z in 10.0f64..150.0) {
+        let mut refl = Termination::Resistive(Ohms(r)).reflector(Ohms(z), 1e-12);
+        let gamma = refl.step(1.0);
+        prop_assert!((gamma - (r - z) / (r + z)).abs() < 1e-12);
+        prop_assert!(gamma.abs() < 1.0);
+    }
+
+    #[test]
+    fn chip_reflector_settles_to_resistive_value(
+        r in 20.0f64..120.0,
+        c_pf in 0.1f64..3.0,
+    ) {
+        let chip = divot_txline::termination::ChipInput {
+            resistance: Ohms(r),
+            capacitance: divot_txline::units::Farads(c_pf * 1e-12),
+        };
+        let mut refl = Termination::Chip(chip).reflector(Ohms(50.0), 1e-12);
+        let mut y = 0.0;
+        for _ in 0..20_000 {
+            y = refl.step(1.0);
+        }
+        let dc = (r - 50.0) / (r + 50.0);
+        prop_assert!((y - dc).abs() < 1e-3, "settled {y} want {dc}");
+    }
+}

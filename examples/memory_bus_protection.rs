@@ -1,0 +1,92 @@
+//! The §III example design end-to-end: a DDR-lite memory system protected
+//! by DIVOT iTDRs on both ends of the bus, surviving a cold-boot attack.
+//!
+//! Scenario: a server runs a memory workload; at cycle 60,000 an attacker
+//! yanks the DIMM and mounts it on their own rig (cold boot). The module-
+//! side iTDR notices the foreign bus fingerprint at its next poll and
+//! closes the column-access gate — the attacker's reads return nothing.
+//!
+//! Run: `cargo run --release --example memory_bus_protection`
+
+use divot::membus::protect::{ProtectionConfig, ScenarioEvent};
+use divot::membus::sim::{SimConfig, Simulation};
+use divot::membus::workload::{AccessPattern, WorkloadConfig};
+
+fn main() {
+    let cycles = 160_000;
+    let base = SimConfig {
+        workload: WorkloadConfig {
+            pattern: AccessPattern::Random,
+            intensity: 0.05,
+            ..WorkloadConfig::default()
+        },
+        protection: ProtectionConfig {
+            poll_interval: 10_000,
+            ..ProtectionConfig::default()
+        },
+        cycles,
+        seed: 2026,
+        ..SimConfig::default()
+    };
+
+    // --- Normal operation: protection is free ---------------------------
+    let protected = Simulation::new(base).run();
+    let mut unprotected_cfg = base;
+    unprotected_cfg.protection.enabled = false;
+    let unprotected = Simulation::new(unprotected_cfg).run();
+    println!("clean bus, {cycles} cycles:");
+    println!(
+        "  protected:   {:.1} req/kcycle, mean latency {:.1} cycles",
+        protected.throughput_per_kilocycle, protected.mean_latency
+    );
+    println!(
+        "  unprotected: {:.1} req/kcycle, mean latency {:.1} cycles",
+        unprotected.throughput_per_kilocycle, unprotected.mean_latency
+    );
+    assert!(
+        (protected.throughput_per_kilocycle - unprotected.throughput_per_kilocycle).abs()
+            < 0.01 * unprotected.throughput_per_kilocycle,
+        "DIVOT monitoring must not cost throughput"
+    );
+
+    // --- Cold boot attack ------------------------------------------------
+    // The attacker's CPU runs no DIVOT logic, so only the module's own
+    // gate defends the data.
+    let mut cfg = base;
+    cfg.protection.cpu_side = false;
+    let mut sim = Simulation::new(cfg);
+    sim.set_scenario(vec![ScenarioEvent::ColdBootSwap {
+        at_cycle: 60_000,
+        foreign_seed: 666,
+    }]);
+    let stats = sim.run();
+    println!("\ncold boot at cycle 60000 (attacker-controlled CPU):");
+    println!(
+        "  detected after {} cycles",
+        stats.detection_latency.expect("must detect")
+    );
+    println!(
+        "  accesses served in the attacker's window: {}",
+        stats.leaked_accesses
+    );
+    println!(
+        "  accesses blocked by the column gate:      {}",
+        stats.blocked_accesses
+    );
+    assert!(stats.blocked_accesses > 0, "the gate must close");
+
+    // The same attack against an unprotected module leaks forever.
+    let mut naked = base;
+    naked.protection.enabled = false;
+    let mut sim = Simulation::new(naked);
+    sim.set_scenario(vec![ScenarioEvent::ColdBootSwap {
+        at_cycle: 60_000,
+        foreign_seed: 666,
+    }]);
+    let naked_stats = sim.run();
+    println!(
+        "\nunprotected module under the same attack: {} accesses leaked, never detected",
+        naked_stats.leaked_accesses
+    );
+    assert!(naked_stats.leaked_accesses > 10 * stats.leaked_accesses.max(1));
+}

@@ -1,0 +1,62 @@
+//! # DIVOT — Detecting Impedance Variations Of Transmission-lines
+//!
+//! A full-system reproduction of *"A Bus Authentication and Anti-Probing
+//! Architecture Extending Hardware Trusted Computing Base Off CPU Chips and
+//! Beyond"* (ISCA 2020).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`dsp`] — math/statistics substrate (Gaussian & modulated CDFs, ROC/EER,
+//!   similarity and error functions, waveforms).
+//! * [`txline`] — transmission-line physics: impedance inhomogeneity patterns
+//!   (IIPs), time-domain scattering, environments (temperature, vibration),
+//!   and physical attacks (load swap, wire-tap, magnetic probe).
+//! * [`analog`] — the analog front end: comparator, noise, PDM modulation
+//!   waveforms, line codes, phase-stepping PLL, coupler.
+//! * [`core`] — the paper's contribution: the iTDR (APC + PDM + ETS),
+//!   fingerprints, authentication, tamper detection, runtime monitoring,
+//!   resource and timing models.
+//! * [`membus`] — the §III example design: a DDR-lite memory system protected
+//!   by DIVOT iTDRs on both ends of the bus.
+//! * [`iolink`] — the §VI future-work extension: a DIVOT-protected serial
+//!   I/O link probing through its own traffic (data-lane triggers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use divot::prelude::*;
+//!
+//! // Fabricate a board with one Tx-line and bind an iTDR to it.
+//! let board = Board::fabricate(&BoardConfig::paper_prototype(), 77);
+//! let mut channel = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 77);
+//! let itdr = Itdr::new(ItdrConfig::fast());
+//!
+//! // Calibration: enroll the line's fingerprint.
+//! let fingerprint = itdr.enroll(&mut channel, 3);
+//!
+//! // Monitoring: re-measure and authenticate.
+//! let iip = itdr.measure(&mut channel);
+//! let auth = Authenticator::new(AuthPolicy::default());
+//! assert!(auth.verify(&fingerprint, &iip).is_accept());
+//! ```
+
+pub use divot_analog as analog;
+pub use divot_core as core;
+pub use divot_dsp as dsp;
+pub use divot_iolink as iolink;
+pub use divot_membus as membus;
+pub use divot_txline as txline;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use divot_analog::frontend::FrontEndConfig;
+    pub use divot_core::auth::{AuthPolicy, Authenticator};
+    pub use divot_core::channel::BusChannel;
+    pub use divot_core::fingerprint::Fingerprint;
+    pub use divot_core::itdr::{Itdr, ItdrConfig};
+    pub use divot_core::monitor::{BusMonitor, MonitorConfig, MonitorEvent};
+    pub use divot_core::tamper::{TamperDetector, TamperPolicy};
+    pub use divot_dsp::similarity::{error_function, similarity};
+    pub use divot_dsp::{RocCurve, Waveform};
+    pub use divot_txline::board::{Board, BoardConfig};
+}
