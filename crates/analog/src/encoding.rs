@@ -216,6 +216,8 @@ mod tests {
     use divot_dsp::rng::DivotRng;
 
     #[test]
+    // Codeword literals are grouped as 6b|4b sub-blocks, not nibbles.
+    #[allow(clippy::unusual_byte_groupings)]
     fn known_8b10b_codewords() {
         let mut enc = Encoder8b10b::new();
         // D.00.0 at RD−: 100111 0100 — the 6b block flips RD to +, the 4b

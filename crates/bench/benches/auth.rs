@@ -8,6 +8,7 @@ use divot_core::tamper::{TamperDetector, TamperPolicy};
 use divot_dsp::rng::DivotRng;
 use divot_dsp::similarity::similarity;
 use divot_dsp::waveform::Waveform;
+use divot_dsp::RocCurve;
 use std::hint::black_box;
 
 fn noisy_pair(n: usize, seed: u64) -> (Waveform, Waveform) {
@@ -58,11 +59,28 @@ fn bench_eprom_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ROC sweep behind Fig. 7(b): building the curve and extracting the
+/// EER from genuine/impostor score populations (the analysis cost of one
+/// authentication trial batch).
+fn bench_roc_sweep(c: &mut Criterion) {
+    let mut rng = DivotRng::seed_from_u64(5);
+    let genuine: Vec<f64> = (0..4096).map(|_| (0.98 + rng.normal(0.0, 0.01)).min(1.0)).collect();
+    let impostor: Vec<f64> = (0..4096).map(|_| 0.55 + rng.normal(0.0, 0.08)).collect();
+    let mut group = c.benchmark_group("auth/roc");
+    group.bench_function("from_scores_8192", |bch| {
+        bch.iter(|| black_box(RocCurve::from_scores(&genuine, &impostor)))
+    });
+    let roc = RocCurve::from_scores(&genuine, &impostor);
+    group.bench_function("eer", |bch| bch.iter(|| black_box(roc.eer())));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_similarity,
     bench_verify,
     bench_tamper_scan,
-    bench_eprom_codec
+    bench_eprom_codec,
+    bench_roc_sweep
 );
 criterion_main!(benches);

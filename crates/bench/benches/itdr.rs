@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use divot_analog::frontend::FrontEndConfig;
 use divot_core::channel::BusChannel;
+use divot_core::exec::ExecPolicy;
 use divot_core::itdr::{Itdr, ItdrConfig};
 use divot_txline::board::{Board, BoardConfig};
 use std::hint::black_box;
@@ -33,5 +34,36 @@ fn bench_enroll(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_measure, bench_enroll);
+/// Paper-configuration enrollment under the batched acquisition engine:
+/// the response cache amortizes the bounce-lattice simulation across the
+/// averaged measurements (`x8_cached` vs `x8_resimulated`, the pre-cache
+/// per-measurement cost), and the serial/parallel schedules produce
+/// bitwise-identical fingerprints (`x8_serial` vs `x8_parallel`; the
+/// parallel win scales with available cores).
+fn bench_enroll_paper(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let itdr = Itdr::new(ItdrConfig::paper());
+    let mut ch = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 5);
+    let _ = itdr.measure(&mut ch);
+    let mut group = c.benchmark_group("itdr/enroll_paper");
+    group.sample_size(10);
+    group.bench_function("x8_cached", |b| b.iter(|| black_box(itdr.enroll(&mut ch, 8))));
+    group.bench_function("x8_resimulated", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                ch.invalidate_response_cache();
+                black_box(itdr.measure(&mut ch));
+            }
+        })
+    });
+    group.bench_function("x8_serial", |b| {
+        b.iter(|| black_box(itdr.enroll_with(&mut ch, 8, ExecPolicy::Serial)))
+    });
+    group.bench_function("x8_parallel", |b| {
+        b.iter(|| black_box(itdr.enroll_with(&mut ch, 8, ExecPolicy::Parallel)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure, bench_enroll, bench_enroll_paper);
 criterion_main!(benches);

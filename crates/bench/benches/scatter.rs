@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use divot_txline::attack::Attack;
 use divot_txline::board::{Board, BoardConfig};
+use divot_txline::env::Environment;
+use divot_txline::response::ResponseCache;
 use divot_txline::scatter::{Network, SimConfig, Tap};
+use divot_txline::units::Seconds;
 use std::hint::black_box;
 
 fn bench_edge_response(c: &mut Criterion) {
@@ -49,5 +52,47 @@ fn bench_tapped_response(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edge_response, bench_tapped_response);
+/// The batched sampling entry point used by the acquisition engine: one
+/// state traversal produces every ETS sample, instead of one traversal
+/// per sample.
+fn bench_batch_response(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let network = board.line(0).network();
+    let sim = SimConfig::default();
+    let times: Vec<f64> = (0..341).map(|i| i as f64 * 11.16e-12).collect();
+    c.bench_function("scatter/edge_response_batch_341", |b| {
+        b.iter(|| black_box(network.edge_response_batch(&sim, &times)))
+    });
+}
+
+/// The environment-keyed response cache: a hit is an `Arc` clone, a miss
+/// pays the full bounce-lattice simulation. The ratio is the per-
+/// measurement saving of the batched acquisition engine.
+fn bench_response_cache(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let network = board.line(0).network();
+    let env = Environment::room();
+    let mut group = c.benchmark_group("scatter/response_cache");
+    group.bench_function("hit", |b| {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let _ = cache.response_at(&network, &env, Seconds(0.0));
+        b.iter(|| black_box(cache.response_at(&network, &env, Seconds(0.0))))
+    });
+    group.bench_function("miss", |b| {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        b.iter(|| {
+            cache.invalidate();
+            black_box(cache.response_at(&network, &env, Seconds(0.0)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edge_response,
+    bench_tapped_response,
+    bench_batch_response,
+    bench_response_cache
+);
 criterion_main!(benches);

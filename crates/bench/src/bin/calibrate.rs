@@ -33,8 +33,7 @@ fn main() {
     banner("detector-side response statistics (line 0)");
     let mut ch = bench.channel(0);
     let gain = ch.frontend_config().coupler.backward_gain();
-    let parts = ch.measurement_parts();
-    let resp = parts.response.clone();
+    let resp = ch.response_now();
     let win = resp.window(0.0, 3.8e-9);
     let detector: Vec<f64> = win.samples().iter().map(|v| v * gain).collect();
     print_metric("detector_rms_v", format!("{:.6e}", Summary::of(&detector).std_dev));
@@ -45,7 +44,7 @@ fn main() {
     let mut truths = Vec::new();
     for i in 0..bench.board.line_count() {
         let mut chi = bench.channel(i);
-        truths.push(chi.measurement_parts().response.window(0.0, 3.8e-9));
+        truths.push(chi.response_now().window(0.0, 3.8e-9));
     }
     let mut true_impostor = Vec::new();
     for a in 0..truths.len() {

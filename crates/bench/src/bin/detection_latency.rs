@@ -7,14 +7,17 @@
 //!   operation time frame".
 //!
 //! Run: `cargo run --release -p divot-bench --bin detection_latency`
+//! (pass `--serial` to disable the parallel acquisition engine in the
+//! harness-timing section — simulated results are identical either way).
 
 use divot_analog::linecode::LineCode;
-use divot_bench::{banner, print_metric};
+use divot_bench::{banner, parse_cli_policy, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::timing::TimingModel;
 use divot_core::trigger::TriggerSource;
 
 fn main() {
+    let policy = parse_cli_policy();
     let proto = TimingModel::paper_prototype();
 
     banner("prototype measurement budget (156.25 MHz clock lane)");
@@ -98,5 +101,17 @@ fn main() {
     print_metric(
         "high_fidelity_measurement_us",
         format!("{:.1}", hf.measurement_time() * 1e6),
+    );
+
+    banner("harness acquisition wall clock (simulation, not bus time)");
+    let bench = divot_bench::Bench::paper_prototype(2020);
+    let mut ch = bench.channel(0);
+    let itdr = bench.itdr();
+    let started = std::time::Instant::now();
+    let _ = itdr.measure_averaged(&mut ch, 8);
+    print_metric("exec_mode", policy.label());
+    print_metric(
+        "avg8_paper_measurement_wall_clock_s",
+        format!("{:.3}", started.elapsed().as_secs_f64()),
     );
 }

@@ -10,10 +10,12 @@
 //! The shape to reproduce: vibration > temperature > {room ≈ EMI}.
 //!
 //! Run: `cargo run --release -p divot-bench --bin env_robustness`
-//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
+//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count;
+//! pass `--serial` to disable the parallel acquisition engine — results
+//! are bitwise identical either way).
 
 use divot_analog::frontend::FrontEndConfig;
-use divot_bench::{banner, collect_scores_sampled, print_metric, Bench};
+use divot_bench::{banner, collect_scores_sampled, parse_cli_policy, print_metric, Bench};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 use divot_txline::env::Environment;
@@ -27,10 +29,13 @@ struct Condition {
 }
 
 fn main() {
+    let policy = parse_cli_policy();
+    let started = std::time::Instant::now();
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2048);
+    print_metric("exec_mode", policy.label());
 
     let conditions = [
         Condition {
@@ -135,5 +140,9 @@ fn main() {
         } else {
             "MISSED"
         },
+    );
+    print_metric(
+        "wall_clock_s",
+        format!("{:.2}", started.elapsed().as_secs_f64()),
     );
 }

@@ -7,13 +7,16 @@
 //! with false positive rate below 0.0006 near the operating threshold.
 //!
 //! Run: `cargo run --release -p divot-bench --bin fig7_authentication`
-//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
+//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count;
+//! pass `--serial` to disable the parallel acquisition engine — results
+//! are bitwise identical either way).
 
-use divot_bench::{banner, collect_scores_sampled, print_histogram, print_metric, Bench};
+use divot_bench::{banner, collect_scores_sampled, parse_cli_policy, print_histogram, print_metric, Bench};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 
 fn main() {
+    let policy = parse_cli_policy();
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -25,8 +28,14 @@ fn main() {
     print_metric("measurements_per_line", measurements);
     print_metric("itdr_points", bench.itdr.ets.points());
     print_metric("itdr_repetitions", bench.itdr.repetitions);
+    print_metric("exec_mode", policy.label());
 
+    let started = std::time::Instant::now();
     let all = bench.measure_all(measurements);
+    print_metric(
+        "acquisition_wall_clock_s",
+        format!("{:.2}", started.elapsed().as_secs_f64()),
+    );
     // Within-group pairing as in the paper: randomly sampled same-line
     // pairs (8 per measurement) and cross-line pairs.
     let scores = collect_scores_sampled(&all, 8 * measurements, 7);

@@ -21,8 +21,10 @@
 //! (`multiwire_ablation`).
 //!
 //! Run: `cargo run --release -p divot-bench --bin spoof_resistance`
+//! (pass `--serial` to disable the parallel acquisition engine — results
+//! are bitwise identical either way).
 
-use divot_bench::{banner, print_metric, Bench};
+use divot_bench::{banner, parse_cli_policy, print_metric, Bench};
 use divot_core::auth::AuthPolicy;
 use divot_dsp::rng::DivotRng;
 use divot_dsp::similarity::similarity;
@@ -34,9 +36,12 @@ use divot_txline::units::Meters;
 const STRICT_THRESHOLD: f64 = 0.96;
 
 fn main() {
+    let policy = parse_cli_policy();
+    let started = std::time::Instant::now();
     let bench = Bench::paper_prototype(2020);
     let eer_threshold = AuthPolicy::default().threshold;
     let itdr = bench.itdr();
+    print_metric("exec_mode", policy.label());
 
     // The defender's enrolled fingerprint.
     let mut victim = bench.channel(0);
@@ -44,7 +49,7 @@ fn main() {
     let target_line = bench.board.line(0).clone();
     // The attacker's reference: the *true* response shape (they know the
     // fingerprint exactly).
-    let truth = victim.measurement_parts().response.window(0.0, 3.8e-9);
+    let truth = victim.response_now().window(0.0, 3.8e-9);
 
     // The attacker's own silicon: same part number, their die.
     let mut attacker_rng = DivotRng::seed_from_u64(0xBAD_D1E);
@@ -151,5 +156,9 @@ fn main() {
          (multiwire_ablation: requirement multiplies per lane), and two-way \
          authentication (the CPU-side bus segment is not under the attacker's \
          control)",
+    );
+    print_metric(
+        "wall_clock_s",
+        format!("{:.2}", started.elapsed().as_secs_f64()),
     );
 }

@@ -9,6 +9,7 @@
 
 use divot_analog::frontend::FrontEndConfig;
 use divot_core::channel::BusChannel;
+use divot_core::exec::ExecPolicy;
 use divot_core::itdr::{Itdr, ItdrConfig};
 use divot_dsp::stats::Histogram;
 use divot_dsp::waveform::Waveform;
@@ -60,8 +61,8 @@ impl Bench {
         Itdr::new(self.itdr)
     }
 
-    /// Measure `count` IIPs on each line (in parallel across lines) and
-    /// return them per line.
+    /// Measure `count` IIPs on each line (fanning lines across cores
+    /// under [`ExecPolicy::auto`]) and return them per line.
     pub fn measure_all(&self, count: usize) -> Vec<Vec<Waveform>> {
         self.measure_all_spaced(count, 0.0)
     }
@@ -71,31 +72,45 @@ impl Bench {
     /// across a time-varying environment (an oven swing, a vibration
     /// chirp).
     pub fn measure_all_spaced(&self, count: usize, gap_seconds: f64) -> Vec<Vec<Waveform>> {
-        let lines = self.board.line_count();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..lines)
-                .map(|i| {
-                    scope.spawn(move || {
-                        let mut ch = self.channel(i);
-                        let itdr = self.itdr();
-                        (0..count)
-                            .map(|_| {
-                                let wf = itdr.measure(&mut ch);
-                                if gap_seconds > 0.0 {
-                                    ch.advance(divot_txline::units::Seconds(gap_seconds));
-                                }
-                                wf
-                            })
-                            .collect::<Vec<_>>()
-                    })
+        self.measure_all_spaced_with(count, gap_seconds, ExecPolicy::auto())
+    }
+
+    /// [`Bench::measure_all_spaced`] under an explicit execution policy.
+    /// Measurements on one line are inherently sequential (channel state),
+    /// so parallelism fans out across lines; results are identical either
+    /// way because every line derives its own seed from the bench seed.
+    pub fn measure_all_spaced_with(
+        &self,
+        count: usize,
+        gap_seconds: f64,
+        policy: ExecPolicy,
+    ) -> Vec<Vec<Waveform>> {
+        policy.run_indexed(self.board.line_count(), |i| {
+            let mut ch = self.channel(i);
+            let itdr = self.itdr();
+            (0..count)
+                .map(|_| {
+                    let wf = itdr.measure_with(&mut ch, ExecPolicy::Serial);
+                    if gap_seconds > 0.0 {
+                        ch.advance(divot_txline::units::Seconds(gap_seconds));
+                    }
+                    wf
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect()
+                .collect::<Vec<_>>()
         })
     }
+}
+
+/// Handle the bench binaries' shared `--serial` escape hatch: scans the
+/// process arguments, latches [`divot_core::exec::force_serial`] when the
+/// flag is present, and returns the policy now in force. Call once at the
+/// top of `main` and quote [`ExecPolicy::label`] in the output so runs
+/// are self-describing.
+pub fn parse_cli_policy() -> ExecPolicy {
+    if std::env::args().any(|a| a == "--serial") {
+        divot_core::exec::force_serial(true);
+    }
+    ExecPolicy::auto()
 }
 
 /// Genuine and impostor similarity score sets.
@@ -267,6 +282,17 @@ mod tests {
         let mut b = bench.channel(0);
         let itdr = bench.itdr();
         assert_eq!(itdr.measure(&mut a), itdr.measure(&mut b));
+    }
+
+    #[test]
+    fn measure_all_matches_across_policies() {
+        let bench = Bench {
+            itdr: ItdrConfig::fast(),
+            ..Bench::paper_prototype(11)
+        };
+        let s = bench.measure_all_spaced_with(2, 1e-3, ExecPolicy::Serial);
+        let p = bench.measure_all_spaced_with(2, 1e-3, ExecPolicy::Parallel);
+        assert_eq!(s, p);
     }
 
     #[test]

@@ -5,24 +5,32 @@
 //! environment, the drive-edge configuration, and the analog front end.
 //! Because the line is LTI (the property ETS relies on), the back-
 //! reflection response for a given physical state is computed once by the
-//! scattering engine and cached; the iTDR's thousands of comparator trials
-//! then sample the cached response — mirroring the physics, where every
-//! repeated edge produces the identical reflection.
+//! scattering engine and served from the channel's
+//! [`ResponseCache`]; the iTDR's
+//! thousands of comparator trials then sample the cached response —
+//! mirroring the physics, where every repeated edge produces the identical
+//! reflection.
+//!
+//! A measurement borrows nothing from the channel: it checks out an owned
+//! [`MeasurementContext`] (shared response waveform, front-end template,
+//! forward wave, seed) which is `Send + Sync`, so the acquisition engine
+//! can fan comparator trials across threads without touching the channel.
 
 use crate::apc::ReconstructionTable;
 use crate::pdm::effective_cdf;
 use divot_analog::frontend::{FrontEnd, FrontEndConfig};
-use divot_dsp::rng::DivotRng;
+use divot_dsp::rng::mix_seed;
 use divot_dsp::waveform::Waveform;
 use divot_txline::attack::Attack;
-use divot_txline::env::{EnvState, Environment};
+use divot_txline::env::Environment;
+use divot_txline::response::{CacheStats, ResponseCache};
 use divot_txline::scatter::{EdgeShape, Network, SimConfig, TxLine};
 use divot_txline::units::Seconds;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Maximum number of cached environmental response states before the cache
-/// is cleared (bounds memory under time-varying environments).
-const RESPONSE_CACHE_CAP: usize = 512;
+/// Domain tag mixed into the channel seed to derive per-measurement seeds.
+const MEASUREMENT_DOMAIN: u64 = 0x4D45;
 
 /// The analytic forward (incident) wave as seen at the coupler — used for
 /// the coupler's finite-directivity leakage.
@@ -40,19 +48,30 @@ impl ForwardWave {
     }
 }
 
-/// Split borrows of a channel needed during one measurement.
-#[derive(Debug)]
-pub struct MeasurementParts<'a> {
-    /// The cached back-reflection response for the current physical state.
-    pub response: &'a Waveform,
-    /// The analog front end (mutated per trigger).
-    pub frontend: &'a mut FrontEnd,
-    /// The analytic forward wave for leakage.
+/// An owned, thread-shareable snapshot of everything one measurement
+/// needs.
+///
+/// Checking out a context freezes the channel's physical state at the
+/// current instant (response waveform, environment-adjusted network) and
+/// assigns the measurement a fresh seed; the acquisition engine then
+/// derives one independent RNG stream per ETS point from that seed, which
+/// is what makes concurrent and serial acquisition bitwise identical.
+#[derive(Debug, Clone)]
+pub struct MeasurementContext {
+    /// The back-reflection response for the physical state being measured
+    /// (shared with the channel's cache — not cloned).
+    pub response: Arc<Waveform>,
+    /// Template of the channel's front end; per-point acquisition streams
+    /// are forked from it via
+    /// [`FrontEnd::fork_stream`](divot_analog::frontend::FrontEnd::fork_stream).
+    pub frontend: FrontEnd,
+    /// The analytic forward wave for the coupler's leakage term.
     pub forward: ForwardWave,
     /// RMS sampling jitter (from the PLL config).
     pub jitter_rms: f64,
-    /// Channel-owned randomness for jitter sampling.
-    pub rng: &'a mut DivotRng,
+    /// This measurement's seed; point `n` derives its streams from
+    /// `mix_seed(seed, n)`.
+    pub seed: u64,
 }
 
 /// One protected bus lane: line network + environment + drive + front end.
@@ -60,13 +79,13 @@ pub struct MeasurementParts<'a> {
 pub struct BusChannel {
     base_network: Network,
     environment: Environment,
-    sim: SimConfig,
     frontend: FrontEnd,
     now: f64,
     trigger_period: f64,
-    response_cache: HashMap<EnvState, Waveform>,
+    response_cache: ResponseCache,
     table_cache: HashMap<u32, ReconstructionTable>,
-    rng: DivotRng,
+    seed: u64,
+    measurements_taken: u64,
 }
 
 impl BusChannel {
@@ -94,13 +113,13 @@ impl BusChannel {
         Self {
             base_network: network,
             environment,
-            sim,
             frontend: FrontEnd::new(fe_config, seed),
             now: 0.0,
             trigger_period,
-            response_cache: HashMap::new(),
+            response_cache: ResponseCache::new(sim),
             table_cache: HashMap::new(),
-            rng: DivotRng::derive(seed, 0xC4A7),
+            seed,
+            measurements_taken: 0,
         }
     }
 
@@ -114,15 +133,15 @@ impl BusChannel {
         &self.environment
     }
 
-    /// Replace the environment (clears the response cache).
+    /// Replace the environment (invalidates the response cache).
     pub fn set_environment(&mut self, env: Environment) {
         self.environment = env;
-        self.response_cache.clear();
+        self.response_cache.invalidate();
     }
 
     /// The drive-edge configuration.
     pub fn sim_config(&self) -> &SimConfig {
-        &self.sim
+        self.response_cache.sim_config()
     }
 
     /// The front-end configuration.
@@ -148,12 +167,12 @@ impl BusChannel {
         self.trigger_period
     }
 
-    /// Apply a physical attack to the channel (mutates the network; clears
-    /// the response cache). Returns `self` time so scripted scenarios can
-    /// log when it happened.
+    /// Apply a physical attack to the channel (mutates the network;
+    /// invalidates the response cache). Returns `self` time so scripted
+    /// scenarios can log when it happened.
     pub fn apply_attack(&mut self, attack: &Attack) -> Seconds {
         self.base_network = attack.apply(&self.base_network);
-        self.response_cache.clear();
+        self.response_cache.invalidate();
         self.now()
     }
 
@@ -161,7 +180,7 @@ impl BusChannel {
     /// different computer's bus in a cold-boot attack).
     pub fn replace_network(&mut self, network: Network) {
         self.base_network = network;
-        self.response_cache.clear();
+        self.response_cache.invalidate();
     }
 
     /// The count→voltage reconstruction table for `repetitions` triggers
@@ -173,36 +192,50 @@ impl BusChannel {
             .or_insert_with(|| ReconstructionTable::build(&effective_cdf(&cfg), repetitions))
     }
 
-    /// Ensure the response for the current instant is cached, and hand out
-    /// the split borrows a measurement needs.
-    pub fn measurement_parts(&mut self) -> MeasurementParts<'_> {
-        let state = self.environment.state_at(Seconds(self.now));
-        if !self.response_cache.contains_key(&state) {
-            if self.response_cache.len() >= RESPONSE_CACHE_CAP {
-                self.response_cache.clear();
-            }
-            let net = self.environment.apply(&self.base_network, &state);
-            let wf = net.edge_response(&self.sim);
-            self.response_cache.insert(state, wf);
-        }
+    /// The cached back-reflection response for the current instant,
+    /// without consuming a measurement seed (a read-only physical peek —
+    /// what an oracle with a lab TDR would see).
+    pub fn response_now(&mut self) -> Arc<Waveform> {
+        self.response_cache
+            .response_at(&self.base_network, &self.environment, Seconds(self.now))
+    }
+
+    /// Check out the context for one measurement.
+    ///
+    /// Each call consumes one measurement slot: the returned context
+    /// carries a seed derived from `(channel seed, measurement index)`, so
+    /// consecutive measurements observe independent comparator/jitter
+    /// noise while identically constructed channels still reproduce the
+    /// exact same sequence.
+    pub fn measurement_context(&mut self) -> MeasurementContext {
+        let response =
+            self.response_cache
+                .response_at(&self.base_network, &self.environment, Seconds(self.now));
+        let sim = self.response_cache.sim_config();
         let z0 = self.base_network.main.profile.impedances()[0];
-        let divider = z0 / (self.sim.source_impedance.0 + z0);
+        let divider = z0 / (sim.source_impedance.0 + z0);
         let forward = ForwardWave {
-            amplitude: self.sim.amplitude.0 * divider,
-            rise_time: self.sim.rise_time.0,
-            shape: self.sim.shape,
+            amplitude: sim.amplitude.0 * divider,
+            rise_time: sim.rise_time.0,
+            shape: sim.shape,
         };
-        let jitter_rms = self.frontend.config().pll.jitter_rms;
-        MeasurementParts {
-            response: self
-                .response_cache
-                .get(&state)
-                .expect("inserted above"),
-            frontend: &mut self.frontend,
+        let seed = mix_seed(mix_seed(self.seed, MEASUREMENT_DOMAIN), self.measurements_taken);
+        self.measurements_taken += 1;
+        MeasurementContext {
+            response,
+            frontend: self.frontend.clone(),
             forward,
-            jitter_rms,
-            rng: &mut self.rng,
+            jitter_rms: self.frontend.config().pll.jitter_rms,
+            seed,
         }
+    }
+
+    /// Drop every cached environmental response, forcing the next
+    /// measurement to re-run the bounce-lattice simulation. Benchmarks use
+    /// this to reproduce the pre-cache acquisition cost; normal operation
+    /// never needs it (environment changes invalidate automatically).
+    pub fn invalidate_response_cache(&mut self) {
+        self.response_cache.invalidate();
     }
 
     /// Number of distinct cached environmental responses (observable for
@@ -210,12 +243,18 @@ impl BusChannel {
     pub fn cached_responses(&self) -> usize {
         self.response_cache.len()
     }
+
+    /// Hit/miss/invalidation counters of the underlying response cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.response_cache.stats()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use divot_txline::board::{Board, BoardConfig};
+    use divot_txline::response::DEFAULT_RESPONSE_CACHE_CAP;
 
     fn channel() -> BusChannel {
         let board = Board::fabricate(&BoardConfig::small_test(), 21);
@@ -226,10 +265,12 @@ mod tests {
     fn static_environment_caches_one_response() {
         let mut ch = channel();
         for _ in 0..5 {
-            let _ = ch.measurement_parts();
+            let _ = ch.measurement_context();
             ch.advance(Seconds(1e-3));
         }
         assert_eq!(ch.cached_responses(), 1);
+        assert_eq!(ch.cache_stats().misses, 1);
+        assert_eq!(ch.cache_stats().hits, 4);
     }
 
     #[test]
@@ -237,30 +278,61 @@ mod tests {
         let mut ch = channel();
         ch.set_environment(Environment::vibrating());
         for _ in 0..50 {
-            let _ = ch.measurement_parts();
+            let _ = ch.measurement_context();
             ch.advance(Seconds(3e-3));
         }
         assert!(ch.cached_responses() > 5);
-        assert!(ch.cached_responses() <= RESPONSE_CACHE_CAP);
+        assert!(ch.cached_responses() <= DEFAULT_RESPONSE_CACHE_CAP);
     }
 
     #[test]
     fn attack_invalidates_cache_and_changes_response() {
         let mut ch = channel();
-        let before = ch.measurement_parts().response.clone();
+        let before = ch.response_now();
         ch.apply_attack(&Attack::paper_wiretap());
         assert_eq!(ch.cached_responses(), 0);
-        let after = ch.measurement_parts().response.clone();
-        assert_ne!(before, after);
+        assert_eq!(ch.cache_stats().invalidations, 1);
+        let after = ch.response_now();
+        assert_ne!(*before, *after);
         assert_eq!(ch.network().taps.len(), 1);
+    }
+
+    #[test]
+    fn response_peek_does_not_consume_measurement_seeds() {
+        let mut a = channel();
+        let mut b = channel();
+        let _ = a.response_now();
+        let _ = a.response_now();
+        // Despite the peeks, the first real measurement contexts agree.
+        assert_eq!(a.measurement_context().seed, b.measurement_context().seed);
+    }
+
+    #[test]
+    fn consecutive_contexts_use_distinct_seeds() {
+        let mut ch = channel();
+        let s1 = ch.measurement_context().seed;
+        let s2 = ch.measurement_context().seed;
+        assert_ne!(s1, s2);
+        // ...but an identically built channel replays the same sequence.
+        let mut twin = channel();
+        assert_eq!(twin.measurement_context().seed, s1);
+        assert_eq!(twin.measurement_context().seed, s2);
+    }
+
+    #[test]
+    fn context_shares_the_cached_response() {
+        let mut ch = channel();
+        let c1 = ch.measurement_context();
+        let c2 = ch.measurement_context();
+        assert!(Arc::ptr_eq(&c1.response, &c2.response));
     }
 
     #[test]
     fn forward_wave_matches_drive() {
         let mut ch = channel();
-        let parts = ch.measurement_parts();
-        assert_eq!(parts.forward.at(0.0), 0.0);
-        let settled = parts.forward.at(1e-9);
+        let ctx = ch.measurement_context();
+        assert_eq!(ctx.forward.at(0.0), 0.0);
+        let settled = ctx.forward.at(1e-9);
         // 0.9 V swing through a ~50/(50+50) divider.
         assert!((settled - 0.45).abs() < 0.02, "settled={settled}");
     }

@@ -10,6 +10,17 @@ use divot_analog::pll::PllConfig;
 use serde::{Deserialize, Serialize};
 
 /// An equivalent-time sampling plan over a time window.
+///
+/// ```
+/// use divot_core::ets::EtsSchedule;
+///
+/// // The paper's window: 0–3.8 ns at the Ultrascale+ 11.16 ps phase step.
+/// let ets = EtsSchedule::paper_window();
+/// assert_eq!(ets.points(), 341);
+/// assert_eq!(ets.time_of(0), 0.0);
+/// // Equivalent sampling rate 1/τ ≈ 89.6 GSa/s — the paper's ">80 GSa/s".
+/// assert!(1.0 / ets.tau > 80e9);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EtsSchedule {
     /// Start of the observation window, relative to the probe edge launch

@@ -12,6 +12,7 @@
 
 use crate::auth::{AuthDecision, Authenticator};
 use crate::channel::BusChannel;
+use crate::exec::ExecPolicy;
 use crate::itdr::Itdr;
 use crate::monitor::{BusMonitor, MonitorConfig, MonitorEvent};
 use crate::resources::ResourceModel;
@@ -104,42 +105,72 @@ impl DivotHub {
         self.lanes[id.0].monitor.restore(fingerprint);
     }
 
-    /// Calibrate every lane against its channel (§III calibration phase,
-    /// executed lane by lane through the shared datapath).
+    /// Calibrate every lane against its channel (§III calibration phase).
+    ///
+    /// Lanes fan out across worker threads under [`ExecPolicy::auto`]
+    /// (each lane's measurements then run serially on its worker); since
+    /// every lane owns its monitor and channel, the result is identical
+    /// to the lane-by-lane sweep.
     ///
     /// # Panics
     ///
     /// Panics if `channels.len() != lane_count()`.
     pub fn calibrate_all(&mut self, channels: &mut [BusChannel]) {
+        self.calibrate_all_with(channels, ExecPolicy::auto());
+    }
+
+    /// [`calibrate_all`](Self::calibrate_all) under an explicit execution
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels.len() != lane_count()`.
+    pub fn calibrate_all_with(&mut self, channels: &mut [BusChannel], policy: ExecPolicy) {
         assert_eq!(
             channels.len(),
             self.lanes.len(),
             "one channel per registered lane"
         );
-        for (lane, ch) in self.lanes.iter_mut().zip(channels) {
-            lane.monitor.calibrate(ch);
-        }
+        // Across-lane parallelism: keep each lane's own acquisition serial
+        // so the worker pool is not oversubscribed.
+        policy.run_zip_mut(&mut self.lanes, channels, |_, lane, ch| {
+            lane.monitor.calibrate_with(ch, ExecPolicy::Serial);
+        });
     }
 
-    /// One monitoring sweep: poll every lane round-robin. Returns the
-    /// events per lane.
+    /// One monitoring sweep: poll every lane. Returns the events per lane.
+    ///
+    /// Lanes fan out across worker threads under [`ExecPolicy::auto`];
+    /// events come back in lane order and are identical to the
+    /// round-robin sweep.
     ///
     /// # Panics
     ///
     /// Panics if `channels.len() != lane_count()` or any lane is
     /// uncalibrated.
     pub fn poll_all(&mut self, channels: &mut [BusChannel]) -> Vec<(LaneId, Vec<MonitorEvent>)> {
+        self.poll_all_with(channels, ExecPolicy::auto())
+    }
+
+    /// [`poll_all`](Self::poll_all) under an explicit execution policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels.len() != lane_count()` or any lane is
+    /// uncalibrated.
+    pub fn poll_all_with(
+        &mut self,
+        channels: &mut [BusChannel],
+        policy: ExecPolicy,
+    ) -> Vec<(LaneId, Vec<MonitorEvent>)> {
         assert_eq!(
             channels.len(),
             self.lanes.len(),
             "one channel per registered lane"
         );
-        self.lanes
-            .iter_mut()
-            .zip(channels)
-            .enumerate()
-            .map(|(i, (lane, ch))| (LaneId(i), lane.monitor.poll(ch)))
-            .collect()
+        policy.run_zip_mut(&mut self.lanes, channels, |i, lane, ch| {
+            (LaneId(i), lane.monitor.poll_with(ch, ExecPolicy::Serial))
+        })
     }
 
     /// Lanes currently blocking (alarmed or uncalibrated).
@@ -165,16 +196,31 @@ impl DivotHub {
     /// Panics if `channels.len() != lane_count()`, the hub has no lanes,
     /// or any lane is uncalibrated.
     pub fn fused_verify(&self, channels: &mut [BusChannel]) -> AuthDecision {
+        self.fused_verify_with(channels, ExecPolicy::auto())
+    }
+
+    /// [`fused_verify`](Self::fused_verify) under an explicit execution
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels.len() != lane_count()`, the hub has no lanes,
+    /// or any lane is uncalibrated.
+    pub fn fused_verify_with(
+        &self,
+        channels: &mut [BusChannel],
+        policy: ExecPolicy,
+    ) -> AuthDecision {
         assert_eq!(
             channels.len(),
             self.lanes.len(),
             "one channel per registered lane"
         );
         assert!(!self.lanes.is_empty(), "fused verify needs lanes");
-        let measurements: Vec<_> = channels
-            .iter_mut()
-            .map(|ch| self.itdr.measure_averaged(ch, self.monitor_config.average_count))
-            .collect();
+        let measurements = policy.run_mut(channels, |_, ch| {
+            self.itdr
+                .measure_averaged_with(ch, self.monitor_config.average_count, ExecPolicy::Serial)
+        });
         let pairs: Vec<_> = self
             .lanes
             .iter()
@@ -278,6 +324,17 @@ mod tests {
             ch.replace_network(clone.line(i).network());
         }
         assert!(!hub.fused_verify(&mut channels).is_accept());
+    }
+
+    #[test]
+    fn lane_sweeps_match_across_policies() {
+        let (mut hub_s, mut ch_s) = setup(3);
+        let (mut hub_p, mut ch_p) = setup(3);
+        hub_s.calibrate_all_with(&mut ch_s, ExecPolicy::Serial);
+        hub_p.calibrate_all_with(&mut ch_p, ExecPolicy::Parallel);
+        let es = hub_s.poll_all_with(&mut ch_s, ExecPolicy::Serial);
+        let ep = hub_p.poll_all_with(&mut ch_p, ExecPolicy::Parallel);
+        assert_eq!(es, ep);
     }
 
     #[test]

@@ -14,14 +14,19 @@
 //! The result is the line's IIP signature: what gets enrolled at
 //! calibration time and compared at runtime.
 
-use crate::apc::TripCounter;
-use crate::channel::BusChannel;
+use crate::apc::{ReconstructionTable, TripCounter};
+use crate::channel::{BusChannel, MeasurementContext};
 use crate::ets::EtsSchedule;
+use crate::exec::ExecPolicy;
 use crate::fingerprint::Fingerprint;
 use divot_dsp::filter::moving_average;
+use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_dsp::waveform::Waveform;
 use divot_txline::units::Seconds;
 use serde::{Deserialize, Serialize};
+
+/// Domain tag for the per-point jitter RNG streams.
+const JITTER_DOMAIN: u64 = 0x4A17_0000;
 
 /// Configuration of one iTDR instrument.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,11 +110,86 @@ impl Itdr {
         &self.config
     }
 
+    /// Acquire one ETS point: `repetitions` comparator trials on a forked
+    /// front-end stream, reconstructed through the ROM table.
+    ///
+    /// This is the parallel kernel: it reads only the (frozen) context and
+    /// derives every random stream from `(context seed, point index)`, so
+    /// the result is a pure function of `(ctx, n)` — independent of which
+    /// thread runs it or in what order.
+    fn point_voltage(
+        &self,
+        ctx: &MeasurementContext,
+        table: &ReconstructionTable,
+        n: usize,
+    ) -> f64 {
+        let mut fe = ctx.frontend.fork_stream(mix_seed(ctx.seed, n as u64));
+        let mut jitter = DivotRng::derive(ctx.seed, JITTER_DOMAIN ^ n as u64);
+        let t_nominal = self.config.ets.time_of(n);
+        let mut counter = TripCounter::new();
+        for _ in 0..self.config.repetitions {
+            fe.begin_trigger();
+            let t = t_nominal + jitter.normal(0.0, ctx.jitter_rms);
+            let backward = ctx.response.sample_at(t);
+            let forward = ctx.forward.at(t);
+            counter.record(fe.observe(backward, forward, t));
+        }
+        table.voltage(counter.count())
+    }
+
+    /// Run `count` consecutive measurements and return each reconstructed
+    /// (and smoothed) IIP separately.
+    ///
+    /// Contexts are checked out sequentially — each measurement consumes
+    /// `total_triggers()` probe triggers of bus time, so a time-varying
+    /// environment is observed exactly as it would be serially — and the
+    /// `count × points` acquisition kernels then fan out under `policy`.
+    fn measure_many(
+        &self,
+        channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Vec<Waveform> {
+        let period = channel.frontend_config().vernier.period() as u32;
+        assert!(
+            self.config.repetitions > 0 && self.config.repetitions.is_multiple_of(period),
+            "repetitions ({}) must be a positive multiple of the Vernier \
+             period ({period})",
+            self.config.repetitions
+        );
+        let table = channel.reconstruction_table(self.config.repetitions).clone();
+        let dwell = Seconds(self.config.total_triggers() as f64 * channel.trigger_period());
+        let contexts: Vec<MeasurementContext> = (0..count)
+            .map(|_| {
+                let ctx = channel.measurement_context();
+                channel.advance(dwell);
+                ctx
+            })
+            .collect();
+        let ets = self.config.ets;
+        let n_points = ets.points();
+        let volts = policy.run_indexed(count * n_points, |idx| {
+            self.point_voltage(&contexts[idx / n_points], &table, idx % n_points)
+        });
+        volts
+            .chunks(n_points)
+            .map(|chunk| {
+                let wf = Waveform::new(ets.window_start, ets.tau, chunk.to_vec());
+                if self.config.smoothing_half_width > 0 {
+                    moving_average(&wf, self.config.smoothing_half_width)
+                } else {
+                    wf
+                }
+            })
+            .collect()
+    }
+
     /// Measure the channel's IIP waveform once.
     ///
     /// Consumes `total_triggers()` probe triggers of bus time (advancing
     /// the channel clock) and returns the reconstructed IIP on the ETS
-    /// grid.
+    /// grid. ETS points are acquired under [`ExecPolicy::auto`]; the
+    /// result is bitwise identical either way.
     ///
     /// # Panics
     ///
@@ -117,53 +197,45 @@ impl Itdr {
     /// end's Vernier period (unbalanced PDM level mixes would bias the
     /// reconstruction).
     pub fn measure(&self, channel: &mut BusChannel) -> Waveform {
-        let period = channel.frontend_config().vernier.period() as u32;
-        assert!(
-            self.config.repetitions > 0 && self.config.repetitions % period == 0,
-            "repetitions ({}) must be a positive multiple of the Vernier \
-             period ({period})",
-            self.config.repetitions
-        );
-        let table = channel.reconstruction_table(self.config.repetitions).clone();
-        let ets = self.config.ets;
-        let n_points = ets.points();
-        let mut volts = Vec::with_capacity(n_points);
-        {
-            let parts = channel.measurement_parts();
-            for n in 0..n_points {
-                let t_nominal = ets.time_of(n);
-                let mut counter = TripCounter::new();
-                for _ in 0..self.config.repetitions {
-                    parts.frontend.begin_trigger();
-                    let t = t_nominal + parts.rng.normal(0.0, parts.jitter_rms);
-                    let backward = parts.response.sample_at(t);
-                    let forward = parts.forward.at(t);
-                    counter.record(parts.frontend.observe(backward, forward, t));
-                }
-                volts.push(table.voltage(counter.count()));
-            }
-        }
-        channel.advance(Seconds(
-            self.config.total_triggers() as f64 * channel.trigger_period(),
-        ));
-        let wf = Waveform::new(ets.window_start, ets.tau, volts);
-        if self.config.smoothing_half_width > 0 {
-            moving_average(&wf, self.config.smoothing_half_width)
-        } else {
-            wf
-        }
+        self.measure_with(channel, ExecPolicy::auto())
+    }
+
+    /// [`measure`](Self::measure) under an explicit execution policy.
+    pub fn measure_with(&self, channel: &mut BusChannel, policy: ExecPolicy) -> Waveform {
+        self.measure_many(channel, 1, policy)
+            .pop()
+            .expect("count == 1")
     }
 
     /// Average `count` consecutive measurements (lower-noise IIP estimate).
+    ///
+    /// All `count × points` acquisition kernels fan out together under
+    /// [`ExecPolicy::auto`], so averaging parallelizes across repeats as
+    /// well as ETS points.
     ///
     /// # Panics
     ///
     /// Panics if `count == 0`.
     pub fn measure_averaged(&self, channel: &mut BusChannel, count: usize) -> Waveform {
+        self.measure_averaged_with(channel, count, ExecPolicy::auto())
+    }
+
+    /// [`measure_averaged`](Self::measure_averaged) under an explicit
+    /// execution policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn measure_averaged_with(
+        &self,
+        channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Waveform {
         assert!(count > 0, "need at least one measurement");
-        let mut acc = self.measure(channel);
-        for _ in 1..count {
-            let next = self.measure(channel);
+        let mut repeats = self.measure_many(channel, count, policy).into_iter();
+        let mut acc = repeats.next().expect("count > 0");
+        for next in repeats {
             acc.try_add(&next).expect("same ETS grid");
         }
         acc.scale(1.0 / count as f64);
@@ -173,11 +245,42 @@ impl Itdr {
     /// Calibration-time enrollment: average `count` measurements into a
     /// stored [`Fingerprint`] (what gets written to the EPROM, §III).
     ///
+    /// ```
+    /// use divot_core::itdr::{Itdr, ItdrConfig};
+    /// use divot_core::channel::BusChannel;
+    /// use divot_analog::frontend::FrontEndConfig;
+    /// use divot_txline::board::{Board, BoardConfig};
+    ///
+    /// let board = Board::fabricate(&BoardConfig::small_test(), 7);
+    /// let mut ch = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 7);
+    /// let itdr = Itdr::new(ItdrConfig::fast());
+    /// let fp = itdr.enroll(&mut ch, 2);
+    /// assert_eq!(fp.enrollment_count(), 2);
+    /// assert_eq!(fp.iip().len(), ItdrConfig::fast().ets.points());
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `count == 0`.
     pub fn enroll(&self, channel: &mut BusChannel, count: usize) -> Fingerprint {
-        Fingerprint::new(self.measure_averaged(channel, count), count as u32)
+        self.enroll_with(channel, count, ExecPolicy::auto())
+    }
+
+    /// [`enroll`](Self::enroll) under an explicit execution policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn enroll_with(
+        &self,
+        channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Fingerprint {
+        Fingerprint::new(
+            self.measure_averaged_with(channel, count, policy),
+            count as u32,
+        )
     }
 }
 
@@ -250,9 +353,9 @@ mod tests {
         let iip = itdr.measure_averaged(&mut ch, 8);
         let gain = ch.frontend_config().coupler.backward_gain();
         let half = itdr.config().smoothing_half_width;
-        let parts = ch.measurement_parts();
+        let response = ch.response_now();
         let truth = Waveform::from_fn(iip.t0(), iip.dt(), iip.len(), |t| {
-            gain * parts.response.sample_at(t)
+            gain * response.sample_at(t)
         });
         // Compare against the truth seen through the same smoothing FIR.
         let truth = divot_dsp::filter::moving_average(&truth, half);
@@ -292,6 +395,20 @@ mod tests {
         let fp = itdr.enroll(&mut ch, 4);
         assert_eq!(fp.enrollment_count(), 4);
         assert_eq!(fp.iip().len(), ItdrConfig::fast().ets.points());
+    }
+
+    #[test]
+    fn serial_and_parallel_measurements_are_bitwise_identical() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut serial_ch = channel_for_line(&board, 0, 9);
+        let mut parallel_ch = channel_for_line(&board, 0, 9);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let s = itdr.measure_averaged_with(&mut serial_ch, 3, ExecPolicy::Serial);
+        let p = itdr.measure_averaged_with(&mut parallel_ch, 3, ExecPolicy::Parallel);
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.samples().iter().zip(p.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::auth::{AuthPolicy, Authenticator};
 use crate::channel::BusChannel;
+use crate::exec::ExecPolicy;
 use crate::fingerprint::Fingerprint;
 use crate::itdr::Itdr;
 use crate::tamper::{TamperDetector, TamperPolicy, TamperReport};
@@ -145,11 +146,20 @@ impl BusMonitor {
     /// the tamper threshold against a known-clean measurement's noise
     /// floor (the "proper threshold value" step of §IV-C).
     pub fn calibrate(&mut self, channel: &mut BusChannel) -> MonitorEvent {
-        let fp = self.itdr.enroll(channel, self.config.enroll_count);
+        self.calibrate_with(channel, ExecPolicy::auto())
+    }
+
+    /// [`calibrate`](Self::calibrate) under an explicit execution policy
+    /// (the hub passes [`ExecPolicy::Serial`] here when it already fans
+    /// out across lanes).
+    pub fn calibrate_with(&mut self, channel: &mut BusChannel, policy: ExecPolicy) -> MonitorEvent {
+        let fp = self
+            .itdr
+            .enroll_with(channel, self.config.enroll_count, policy);
         let cleans: Vec<_> = (0..4)
             .map(|_| {
                 self.itdr
-                    .measure_averaged(channel, self.config.average_count)
+                    .measure_averaged_with(channel, self.config.average_count, policy)
             })
             .collect();
         self.detector = TamperDetector::calibrated(
@@ -184,13 +194,24 @@ impl BusMonitor {
     ///
     /// Panics if called before calibration.
     pub fn poll(&mut self, channel: &mut BusChannel) -> Vec<MonitorEvent> {
+        self.poll_with(channel, ExecPolicy::auto())
+    }
+
+    /// [`poll`](Self::poll) under an explicit execution policy (the hub
+    /// passes [`ExecPolicy::Serial`] here when it already fans out across
+    /// lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before calibration.
+    pub fn poll_with(&mut self, channel: &mut BusChannel, policy: ExecPolicy) -> Vec<MonitorEvent> {
         let fp = self
             .fingerprint
             .as_ref()
             .expect("poll requires a calibrated monitor");
         let measured = self
             .itdr
-            .measure_averaged(channel, self.config.average_count);
+            .measure_averaged_with(channel, self.config.average_count, policy);
         let mut events = Vec::new();
 
         let decision = self.authenticator.verify(fp, &measured);

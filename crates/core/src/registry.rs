@@ -8,7 +8,10 @@
 //! storage needs no secrecy — an IIP is useless off its exact copper — so
 //! the format is plain.
 
+use crate::channel::BusChannel;
+use crate::exec::ExecPolicy;
 use crate::fingerprint::{DecodeFingerprintError, Fingerprint};
+use crate::itdr::Itdr;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,6 +28,57 @@ pub struct Pairing {
     pub master: Fingerprint,
     /// The slave (module-side) view of the bus.
     pub slave: Fingerprint,
+}
+
+impl Pairing {
+    /// Calibration-time pairing: enroll both ends of one bus with the
+    /// shared instrument configuration (the two iTDRs see the same copper
+    /// from opposite ends, so each side gets its own channel view).
+    ///
+    /// Both enrollments fan out under [`ExecPolicy::auto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn enroll(
+        itdr: &Itdr,
+        master_channel: &mut BusChannel,
+        slave_channel: &mut BusChannel,
+        count: usize,
+    ) -> Self {
+        Self::enroll_with(itdr, master_channel, slave_channel, count, ExecPolicy::auto())
+    }
+
+    /// [`enroll`](Self::enroll) under an explicit execution policy: with
+    /// [`ExecPolicy::Parallel`] the two ends enroll concurrently (each
+    /// end's acquisition serial on its thread), with identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn enroll_with(
+        itdr: &Itdr,
+        master_channel: &mut BusChannel,
+        slave_channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Self {
+        match policy {
+            ExecPolicy::Serial => Self {
+                master: itdr.enroll_with(master_channel, count, ExecPolicy::Serial),
+                slave: itdr.enroll_with(slave_channel, count, ExecPolicy::Serial),
+            },
+            ExecPolicy::Parallel => std::thread::scope(|scope| {
+                let master_task = scope
+                    .spawn(|| itdr.enroll_with(master_channel, count, ExecPolicy::Serial));
+                let slave = itdr.enroll_with(slave_channel, count, ExecPolicy::Serial);
+                Self {
+                    master: master_task.join().expect("master enrollment panicked"),
+                    slave,
+                }
+            }),
+        }
+    }
 }
 
 /// Errors decoding a registry bank image.
@@ -204,6 +258,24 @@ mod tests {
             },
         );
         reg
+    }
+
+    #[test]
+    fn pairing_enrolls_both_ends_identically_across_policies() {
+        use crate::itdr::{Itdr, ItdrConfig};
+        use divot_analog::frontend::FrontEndConfig;
+        use divot_txline::board::{Board, BoardConfig};
+
+        let board = Board::fabricate(&BoardConfig::small_test(), 51);
+        let make = |seed| BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), seed);
+        let itdr = Itdr::new(ItdrConfig::fast());
+        let serial = Pairing::enroll_with(&itdr, &mut make(1), &mut make(2), 2, ExecPolicy::Serial);
+        let parallel =
+            Pairing::enroll_with(&itdr, &mut make(1), &mut make(2), 2, ExecPolicy::Parallel);
+        assert_eq!(serial, parallel);
+        // The two ends are distinct instruments (different seeds), so the
+        // views differ in noise but describe the same copper.
+        assert_ne!(serial.master, serial.slave);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of the `criterion` API the workspace's benches use:
+//! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up (~100 ms), then timed over
+//! `sample_size` samples of an adaptively sized inner loop; median and
+//! mean time per iteration are printed in a stable, greppable one-line
+//! format:
+//!
+//! ```text
+//! bench: <name> ... median 1.234 ms/iter, mean 1.301 ms/iter (20 samples)
+//! ```
+//!
+//! No statistics beyond that, no plots, no saved baselines — run the same
+//! binary before and after a change and compare the lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+/// Wall-clock time spent warming up each benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; its return value is passed through
+    /// [`black_box`] so the computation is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and estimate the cost of one call.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < TARGET_WARMUP || calls == 0 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+
+        let samples = self.sample_size.max(2);
+        let budget = TARGET_MEASURE.as_secs_f64() / samples as f64;
+        let inner = (budget / per_call.max(1e-9)).ceil().max(1.0) as u64;
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / inner as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("bench: {name} ... no samples");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let mean: f64 = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "bench: {name} ... median {}, mean {} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// A parameterized benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.label();
+        let mut b = Bencher {
+            sample_size: 10,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.label());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(3u64).pow(7)));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| black_box(n).wrapping_mul(3))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

@@ -10,6 +10,10 @@
 //!   rational approximation refined by one Halley iteration, giving close to
 //!   full double precision.
 
+// The coefficient tables are quoted at the published precision; rounding
+// them to representable digits would obscure their provenance.
+#![allow(clippy::excessive_precision)]
+
 /// Coefficients for |x| <= 0.46875 (Cody region 1).
 const ERF_P: [f64; 5] = [
     3.209377589138469472562e3,

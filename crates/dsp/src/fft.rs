@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn dc_concentrates_in_bin_zero() {
-        let spec = fft_real(&vec![2.0; 8]);
+        let spec = fft_real(&[2.0; 8]);
         assert!((magnitude(spec[0]) - 16.0).abs() < 1e-12);
         for &bin in &spec[1..] {
             assert!(magnitude(bin) < 1e-12);

@@ -14,6 +14,9 @@
 //! * [`rng`] — deterministic seeded randomness: a polar Box–Muller normal
 //!   sampler and an Ornstein–Uhlenbeck process used to synthesize spatially
 //!   correlated manufacturing variation (the IIP itself).
+//! * [`par`] — order-preserving parallel map helpers on scoped threads;
+//!   the scheduling substrate for the acquisition fan-out in `divot-core`
+//!   (bitwise identical to the serial loop for per-index-seeded work).
 //! * [`waveform`] — a uniformly sampled waveform type with interpolated
 //!   sampling and the arithmetic used throughout the scattering simulation.
 //! * [`stats`] — moments, histograms, percentiles.
@@ -43,6 +46,7 @@ pub mod erf;
 pub mod fft;
 pub mod filter;
 pub mod gaussian;
+pub mod par;
 pub mod roc;
 pub mod rng;
 pub mod similarity;

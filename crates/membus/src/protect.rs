@@ -264,12 +264,12 @@ impl ProtectedMemorySystem {
                 .module_mut()
                 .set_access_gate(self.mem_monitor.is_blocking());
         }
-        if !was_reacting && self.reacting() {
-            if self.security.attack_cycle.is_some()
-                && self.security.reaction_cycle.is_none()
-            {
-                self.security.reaction_cycle = Some(cycle);
-            }
+        if !was_reacting
+            && self.reacting()
+            && self.security.attack_cycle.is_some()
+            && self.security.reaction_cycle.is_none()
+        {
+            self.security.reaction_cycle = Some(cycle);
         }
     }
 
@@ -287,7 +287,7 @@ impl ProtectedMemorySystem {
             "calibrate() must run before ticking the protected system"
         );
         self.fire_due_events(cycle);
-        if self.config.enabled && cycle % self.config.poll_interval == 0 {
+        if self.config.enabled && cycle.is_multiple_of(self.config.poll_interval) {
             self.poll_monitors(cycle);
         }
         let done = self.controller.tick(cycle);

@@ -225,15 +225,13 @@ impl Scheduler {
                         None,
                     );
                 }
-                BankState::Opening {
-                    row, opened_at, ..
-                } if row != d.row => {
-                    if now >= opened_at + module.timing().t_ras {
-                        return Decision::Issue(
-                            DramCommand::Precharge { bank: d.bank },
-                            None,
-                        );
-                    }
+                BankState::Opening { row, opened_at, .. }
+                    if row != d.row && now >= opened_at + module.timing().t_ras =>
+                {
+                    return Decision::Issue(
+                        DramCommand::Precharge { bank: d.bank },
+                        None,
+                    );
                 }
                 _ => {}
             }

@@ -1,0 +1,27 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and this workspace
+//! uses serde only for `#[derive(Serialize, Deserialize)]` annotations on
+//! model types (persistent formats here are hand-rolled byte codecs — see
+//! `divot_core::fingerprint` and `divot_core::registry`). This shim keeps
+//! those annotations compiling: [`Serialize`] and [`Deserialize`] are
+//! marker traits with blanket implementations, and the derive macros
+//! (re-exported from the `serde_derive` shim) expand to nothing.
+//!
+//! Swapping the workspace dependency back to real serde requires no source
+//! changes in the other crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so bounds keep compiling.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types so bounds keep compiling.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

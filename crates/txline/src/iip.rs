@@ -309,9 +309,11 @@ mod tests {
         let prof = p.sample_profile(Meters(2.0), 8192, 3, 0);
         let mean = prof.mean_impedance().0;
         assert!((mean - 50.0).abs() < 0.5, "mean={mean}");
-        // Contrast near the process sigma (connector bumps add a little).
+        // Contrast near the process sigma (connector bumps add a little);
+        // with ~133 independent correlation lengths over 2 m the sample
+        // contrast scatters ±~15 % around σ = 0.012 across realizations.
         let c = prof.contrast();
-        assert!(c > 0.002 && c < 0.012, "contrast={c}");
+        assert!(c > 0.008 && c < 0.016, "contrast={c}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   reflection/transmission at every impedance step, per-segment
 //!   attenuation, reactive terminations, and 3-port tap junctions. This is
 //!   the physical process a TDR observes.
+//! * [`response`] — batched acquisition on top of [`scatter`]: one engine
+//!   run per distinct (network, env-state, drive) tuple, served from an
+//!   explicit environment-keyed [`ResponseCache`] so equivalent-time
+//!   sampling never re-simulates an unchanged physical state.
 //! * [`termination`] — load models: matched/open/short/resistive and the
 //!   R ∥ C input of a real receiver chip (whose replacement is the cold-boot
 //!   / Trojan signature of Fig. 9(b,c)).
@@ -49,6 +53,7 @@ pub mod attack;
 pub mod board;
 pub mod env;
 pub mod iip;
+pub mod response;
 pub mod scatter;
 pub mod sparam;
 pub mod termination;
@@ -59,5 +64,6 @@ pub use attack::Attack;
 pub use board::{Board, BoardConfig};
 pub use env::Environment;
 pub use iip::{FabricationProcess, IipProfile};
+pub use response::ResponseCache;
 pub use scatter::{Network, SimConfig, Tap, TxLine};
 pub use termination::Termination;

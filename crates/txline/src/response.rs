@@ -1,0 +1,318 @@
+//! Batched edge-response acquisition with an explicit environment-keyed
+//! cache.
+//!
+//! The Tx-line network is LTI for the duration of one launched edge, so the
+//! back-reflection waveform is fully determined by (network, environmental
+//! state, drive). Equivalent-time sampling exploits exactly this: every
+//! repeated trigger reproduces the identical reflection, and the iTDR walks
+//! its sample instant across repetitions. The simulation mirrors that
+//! structure — the scattering engine runs **once** per distinct physical
+//! state, and the thousands of per-trigger comparator trials read the
+//! cached waveform.
+//!
+//! Two pieces live here:
+//!
+//! * [`Network::edge_response_batch`] — one engine run serving an arbitrary
+//!   batch of sample times (the whole ETS schedule in one call).
+//! * [`ResponseCache`] — an explicit, bounded, instrumented cache keyed on
+//!   [`EnvState`]. A static environment maps every instant to the same key,
+//!   so the engine runs once per enrollment; a swinging oven or vibration
+//!   chirp quantizes into a bounded key set and the cache absorbs the
+//!   revisits. Mutating the network (an [`Attack`](crate::attack::Attack),
+//!   a load swap) must be followed by [`ResponseCache::invalidate`] — the
+//!   cache cannot observe the mutation itself.
+//!
+//! Waveforms are handed out as `Arc<Waveform>` so concurrent acquisition
+//! lanes can sample one simulation result without cloning megabytes of
+//! samples.
+
+use crate::env::{EnvState, Environment};
+use crate::scatter::{Network, SimConfig};
+use crate::units::Seconds;
+use divot_dsp::waveform::Waveform;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default bound on distinct cached environmental states (keeps memory
+/// finite under time-varying environments; ~bounded by the [`EnvState`]
+/// quantization anyway).
+pub const DEFAULT_RESPONSE_CACHE_CAP: usize = 512;
+
+impl Network {
+    /// Simulate the back-reflection **once** and sample it at every time in
+    /// `times` (seconds after edge launch).
+    ///
+    /// This is the batch form of [`Network::edge_response`]: one scattering
+    /// run amortized over an entire ETS schedule, instead of one run per
+    /// sample point. Times outside the simulated span clamp to the edge
+    /// samples (matching [`Waveform::sample_at`]).
+    pub fn edge_response_batch(&self, cfg: &SimConfig, times: &[f64]) -> Vec<f64> {
+        let wf = self.edge_response(cfg);
+        times.iter().map(|&t| wf.sample_at(t)).collect()
+    }
+}
+
+/// Counters describing cache effectiveness, for tests and bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a cached waveform.
+    pub hits: u64,
+    /// Lookups that ran the scattering engine.
+    pub misses: u64,
+    /// Explicit invalidations (attack / network / drive changes).
+    pub invalidations: u64,
+    /// Evictions forced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// An explicit, bounded cache of edge-response waveforms keyed on the
+/// quantized environmental state.
+///
+/// The cache owns the drive configuration: a given `ResponseCache` answers
+/// for exactly one (drive, network-identity) pair, and the *caller* is
+/// responsible for calling [`invalidate`](Self::invalidate) whenever the
+/// network it passes in changes identity (an attack, a module swap). The
+/// environment, by contrast, is handled automatically — each lookup
+/// quantizes the instant into an [`EnvState`] key.
+///
+/// ```
+/// use divot_txline::env::Environment;
+/// use divot_txline::iip::IipProfile;
+/// use divot_txline::response::ResponseCache;
+/// use divot_txline::scatter::{SimConfig, TxLine};
+/// use divot_txline::termination::Termination;
+/// use divot_txline::units::{Meters, Ohms, Seconds};
+///
+/// let line = TxLine::new(
+///     IipProfile::uniform(Ohms(50.0), Meters(0.25), 64),
+///     Termination::Open,
+/// );
+/// let net = line.network();
+/// let env = Environment::room(); // static: one EnvState forever
+/// let mut cache = ResponseCache::new(SimConfig::default());
+///
+/// let a = cache.response_at(&net, &env, Seconds(0.0));
+/// let b = cache.response_at(&net, &env, Seconds(60.0)); // one minute later
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // same simulation, zero rework
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseCache {
+    sim: SimConfig,
+    map: HashMap<EnvState, Arc<Waveform>>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl ResponseCache {
+    /// An empty cache for the given drive configuration, with the default
+    /// capacity bound.
+    pub fn new(sim: SimConfig) -> Self {
+        Self::with_capacity(sim, DEFAULT_RESPONSE_CACHE_CAP)
+    }
+
+    /// An empty cache with an explicit capacity bound (≥ 1).
+    pub fn with_capacity(sim: SimConfig, capacity: usize) -> Self {
+        Self {
+            sim,
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The drive configuration this cache simulates under.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Replace the drive configuration; cached waveforms for the old drive
+    /// are invalidated.
+    pub fn set_sim_config(&mut self, sim: SimConfig) {
+        if sim != self.sim {
+            self.sim = sim;
+            self.invalidate();
+        }
+    }
+
+    /// The response waveform for `base` under `env` at experiment time `t`,
+    /// simulating only if this instant's quantized state is not yet cached.
+    pub fn response_at(
+        &mut self,
+        base: &Network,
+        env: &Environment,
+        t: Seconds,
+    ) -> Arc<Waveform> {
+        let state = env.state_at(t);
+        self.response_for_state(base, env, state)
+    }
+
+    /// The response waveform for an explicit pre-quantized state (callers
+    /// that already hold the [`EnvState`] avoid re-quantizing).
+    pub fn response_for_state(
+        &mut self,
+        base: &Network,
+        env: &Environment,
+        state: EnvState,
+    ) -> Arc<Waveform> {
+        if let Some(wf) = self.map.get(&state) {
+            self.stats.hits += 1;
+            return Arc::clone(wf);
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.capacity {
+            // Whole-cache eviction: under a time-varying environment the key
+            // set is bounded by quantization, so hitting the cap at all means
+            // the working set rotated; dropping everything is simpler than
+            // LRU bookkeeping and costs one re-simulation per live key.
+            self.map.clear();
+            self.stats.evictions += 1;
+        }
+        let net = env.apply(base, &state);
+        let wf = Arc::new(net.edge_response(&self.sim));
+        self.map.insert(state, Arc::clone(&wf));
+        wf
+    }
+
+    /// Drop every cached waveform. Must be called when the network the
+    /// cache is being queried with changes identity — after an
+    /// [`Attack`](crate::attack::Attack) mutates it, after a module swap —
+    /// since the cache keys only on environmental state.
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+        self.stats.invalidations += 1;
+    }
+
+    /// Number of distinct environmental states currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no waveforms.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::Attack;
+    use crate::iip::IipProfile;
+    use crate::scatter::TxLine;
+    use crate::termination::Termination;
+    use crate::units::{Meters, Ohms};
+
+    fn net() -> Network {
+        TxLine::new(
+            IipProfile::uniform(Ohms(50.0), Meters(0.25), 64),
+            Termination::Open,
+        )
+        .network()
+    }
+
+    #[test]
+    fn batch_matches_pointwise_sampling() {
+        let net = net();
+        let cfg = SimConfig::default();
+        let wf = net.edge_response(&cfg);
+        let times: Vec<f64> = (0..100).map(|i| i as f64 * 20e-12).collect();
+        let batch = net.edge_response_batch(&cfg, &times);
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(batch[i], wf.sample_at(t));
+        }
+    }
+
+    #[test]
+    fn static_env_simulates_once() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        for i in 0..10 {
+            let _ = cache.response_at(&n, &env, Seconds(i as f64));
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 9);
+    }
+
+    #[test]
+    fn dynamic_env_caches_per_state() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::vibrating();
+        let n = net();
+        for i in 0..50 {
+            let _ = cache.response_at(&n, &env, Seconds(i as f64 * 3e-3));
+        }
+        assert!(cache.len() > 5, "distinct states: {}", cache.len());
+        assert!(cache.len() <= cache.capacity());
+        // Quantization means revisited states hit.
+        assert_eq!(cache.stats().hits + cache.stats().misses, 50);
+    }
+
+    #[test]
+    fn invalidate_forces_resimulation() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let before = cache.response_at(&n, &env, Seconds(0.0));
+        let attacked = Attack::paper_wiretap().apply(&n);
+        cache.invalidate();
+        assert!(cache.is_empty());
+        let after = cache.response_at(&attacked, &env, Seconds(0.0));
+        assert_ne!(*before, *after);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_wholesale() {
+        let mut cache = ResponseCache::with_capacity(SimConfig::default(), 4);
+        let env = Environment::vibrating();
+        let n = net();
+        for i in 0..200 {
+            let _ = cache.response_at(&n, &env, Seconds(i as f64 * 7e-3));
+        }
+        assert!(cache.len() <= 4);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn changing_drive_invalidates() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let _ = cache.response_at(&n, &env, Seconds(0.0));
+        let sim2 = SimConfig {
+            amplitude: crate::units::Volts(1.8),
+            ..SimConfig::default()
+        };
+        cache.set_sim_config(sim2);
+        assert!(cache.is_empty());
+        // Same config again is a no-op (no spurious invalidation).
+        let inv = cache.stats().invalidations;
+        cache.set_sim_config(sim2);
+        assert_eq!(cache.stats().invalidations, inv);
+    }
+
+    #[test]
+    fn shared_arcs_not_cloned_waveforms() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let a = cache.response_at(&n, &env, Seconds(0.0));
+        let b = cache.response_at(&n, &env, Seconds(1.0));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

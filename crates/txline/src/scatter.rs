@@ -158,6 +158,17 @@ impl EdgeShape {
 }
 
 /// Driver and simulation parameters for one edge-response run.
+///
+/// ```
+/// use divot_txline::scatter::SimConfig;
+/// use divot_txline::units::Volts;
+///
+/// // The defaults model a 0.9 V swing, 50 Ω source, 150 ps edge. Override
+/// // individual fields for what-if drive studies:
+/// let hot = SimConfig { amplitude: Volts(1.8), ..SimConfig::default() };
+/// assert_eq!(hot.source_impedance, SimConfig::default().source_impedance);
+/// assert!(hot.amplitude.0 > SimConfig::default().amplitude.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Output impedance of the driving transmitter.
@@ -232,13 +243,13 @@ impl Junction3 {
     /// Scatter incident waves `a = [a0, a1, a2]` into outgoing waves.
     fn scatter(&self, a: [f64; 3]) -> [f64; 3] {
         let mut out = [0.0; 3];
-        for i in 0..3 {
-            if a[i] == 0.0 {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
                 continue;
             }
-            let node_v = (1.0 + self.gamma[i]) * a[i];
+            let node_v = (1.0 + self.gamma[i]) * ai;
             for (j, o) in out.iter_mut().enumerate() {
-                *o += if j == i { self.gamma[i] * a[i] } else { node_v };
+                *o += if j == i { self.gamma[i] * ai } else { node_v };
             }
         }
         out

@@ -41,8 +41,8 @@ fn main() {
     let mut impostor = Vec::new();
     for a in 0..measurements.len() {
         for b in a + 1..measurements.len() {
-            for k in 0..per_line {
-                impostor.push(similarity(&measurements[a][k], &measurements[b][k]));
+            for (wa, wb) in measurements[a].iter().zip(&measurements[b]).take(per_line) {
+                impostor.push(similarity(wa, wb));
             }
         }
     }

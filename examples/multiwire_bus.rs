@@ -30,7 +30,7 @@ fn main() {
 
     // Genuine fused check.
     let genuine: Vec<_> = our_channels.iter_mut().map(|ch| itdr.measure(ch)).collect();
-    let lanes_ref: Vec<_> = fingerprints.iter().zip(&genuine).map(|(f, w)| (f, w)).collect();
+    let lanes_ref: Vec<_> = fingerprints.iter().zip(&genuine).collect();
     let decision = auth.verify_fused(&lanes_ref);
     println!(
         "genuine 4-lane bus: fused similarity {:.4} -> {}",
@@ -50,7 +50,7 @@ fn main() {
         .map(|(f, w)| auth.score(f, w))
         .collect();
     println!("clone per-lane similarities: {per_lane:?}");
-    let lanes_ref: Vec<_> = fingerprints.iter().zip(&forged).map(|(f, w)| (f, w)).collect();
+    let lanes_ref: Vec<_> = fingerprints.iter().zip(&forged).collect();
     let decision = auth.verify_fused(&lanes_ref);
     println!(
         "cloned 4-lane bus: fused similarity {:.4} -> {}",

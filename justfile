@@ -1,0 +1,37 @@
+# Development workflow for the DIVOT reproduction. Run `just` for the
+# default full check — the same gates CI runs.
+
+default: check
+
+# Everything CI enforces, in CI's order.
+check: build test doc clippy
+
+build:
+    cargo build --release --workspace
+
+# Tier-1 (root package: integration lifecycles) then the full workspace.
+test:
+    cargo test -q
+    cargo test --workspace -q
+
+# Rustdoc must be warning-free (missing_docs is warn in every crate).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Criterion benchmarks, quick mode (itdr includes the cached-vs-resimulated
+# enrollment comparison from EXPERIMENTS.md).
+bench:
+    cargo bench -p divot-bench --bench itdr -- --quick
+    cargo bench -p divot-bench --bench scatter -- --quick
+    cargo bench -p divot-bench --bench auth -- --quick
+
+# Regenerate every paper figure/claim output into results/.
+figures:
+    for b in fig7_authentication fig8_temperature fig9_load_modification \
+             fig9_wiretap fig9_magnetic_probe env_robustness \
+             detection_latency resource_utilization spoof_resistance; do \
+        cargo run --release -p divot-bench --bin $b; \
+    done
