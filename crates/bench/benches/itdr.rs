@@ -63,6 +63,10 @@ fn bench_enroll_paper(c: &mut Criterion) {
         b.iter(|| black_box(itdr.enroll_with(&mut ch, 8, ExecPolicy::Parallel)))
     });
     group.finish();
+    // The cache-effectiveness line EXPERIMENTS.md quotes: hits dominate,
+    // engine_runs stays tiny, and a static-environment workload records
+    // zero evictions.
+    println!("cache-stats: itdr/enroll_paper ... {}", ch.cache_stats());
 }
 
 criterion_group!(benches, bench_measure, bench_enroll, bench_enroll_paper);

@@ -212,7 +212,7 @@ impl BusChannel {
             self.response_cache
                 .response_at(&self.base_network, &self.environment, Seconds(self.now));
         let sim = self.response_cache.sim_config();
-        let z0 = self.base_network.main.profile.impedances()[0];
+        let z0 = self.base_network.main.profile.z_at_source();
         let divider = z0 / (sim.source_impedance.0 + z0);
         let forward = ForwardWave {
             amplitude: sim.amplitude.0 * divider,

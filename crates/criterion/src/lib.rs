@@ -17,11 +17,27 @@
 //!
 //! No statistics beyond that, no plots, no saved baselines — run the same
 //! binary before and after a change and compare the lines.
+//!
+//! # Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file path, every
+//! completed benchmark's `{median_ns, mean_ns, samples}` plus any values
+//! registered via [`Criterion::record_metric`] (e.g. computed speedup
+//! ratios) are written there as JSON when the driver is dropped:
+//!
+//! ```text
+//! CRITERION_JSON=BENCH_scatter.json cargo bench -p divot-bench --bench scatter
+//! ```
+//!
+//! The file shape is `{"benchmarks": {name: {...}}, "metrics": {name: v}}`.
+//! Results accumulate process-wide, so multi-group bench binaries produce
+//! one complete file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::{self, Display};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -80,6 +96,100 @@ impl Bencher {
             fmt_ns(mean),
             self.samples_ns.len()
         );
+        store().lock().expect("bench store poisoned").benchmarks.push((
+            name.to_string(),
+            BenchResult {
+                median_ns: median,
+                mean_ns: mean,
+                samples: self.samples_ns.len(),
+            },
+        ));
+    }
+}
+
+/// Summary statistics of one completed benchmark.
+#[derive(Debug, Clone, Copy)]
+struct BenchResult {
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+/// Process-wide accumulator so multi-group bench binaries emit one
+/// complete JSON file (each group macro builds its own [`Criterion`]).
+#[derive(Debug, Default)]
+struct Store {
+    benchmarks: Vec<(String, BenchResult)>,
+    metrics: Vec<(String, f64)>,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize the accumulated store as the `CRITERION_JSON` document.
+fn render_json(store: &Store) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": {");
+    for (i, (name, r)) in store.benchmarks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+            json_escape(name),
+            json_number(r.median_ns),
+            json_number(r.mean_ns),
+            r.samples
+        ));
+    }
+    out.push_str("\n  },\n  \"metrics\": {");
+    for (i, (name, v)) in store.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            json_escape(name),
+            json_number(*v)
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn maybe_write_json() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let json = render_json(&store().lock().expect("bench store poisoned"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench-json: wrote {path}"),
+        Err(e) => eprintln!("bench-json: failed to write {path}: {e}"),
     }
 }
 
@@ -154,6 +264,35 @@ pub struct Criterion {
 }
 
 impl Criterion {
+    /// Median time per iteration (nanoseconds) of an already-completed
+    /// benchmark, by its full name (`group/id` for grouped benchmarks).
+    ///
+    /// Lets a final bench target compute derived figures — speedup ratios,
+    /// per-element throughput — from earlier measurements and publish them
+    /// via [`record_metric`](Self::record_metric).
+    pub fn median_ns(&self, name: &str) -> Option<f64> {
+        let store = store().lock().expect("bench store poisoned");
+        store
+            .benchmarks
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.median_ns)
+    }
+
+    /// Record a named scalar (e.g. a speedup ratio) into the JSON report's
+    /// `metrics` section and print it in a greppable one-line format.
+    pub fn record_metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        let name = name.into();
+        println!("metric: {name} = {value:.3}");
+        store()
+            .lock()
+            .expect("bench store poisoned")
+            .metrics
+            .push((name, value));
+        self
+    }
+
     /// Run one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -177,6 +316,15 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
         }
+    }
+}
+
+impl Drop for Criterion {
+    /// Flush the accumulated results to `CRITERION_JSON` (if set). Runs at
+    /// the end of every group, writing the complete store each time, so the
+    /// file is whole no matter how many groups the binary defines.
+    fn drop(&mut self) {
+        maybe_write_json();
     }
 }
 
@@ -273,5 +421,40 @@ mod tests {
         });
         g.finish();
         assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+
+    #[test]
+    fn completed_benchmarks_are_queryable_and_metrics_record() {
+        let mut c = Criterion::default();
+        c.bench_function("query/me", |b| b.iter(|| black_box(5u64).pow(3)));
+        let median = c.median_ns("query/me").expect("was just measured");
+        assert!(median > 0.0);
+        c.record_metric("speedup_test_metric", 4.2);
+        let store = store().lock().unwrap();
+        assert!(store
+            .metrics
+            .iter()
+            .any(|(n, v)| n == "speedup_test_metric" && *v == 4.2));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        let s = Store {
+            benchmarks: vec![(
+                "a\"b\\c".to_string(),
+                BenchResult {
+                    median_ns: 12.5,
+                    mean_ns: f64::NAN,
+                    samples: 3,
+                },
+            )],
+            metrics: vec![("ratio".to_string(), 3.0)],
+        };
+        let json = render_json(&s);
+        assert!(json.contains("\"a\\\"b\\\\c\""));
+        assert!(json.contains("\"median_ns\": 12.5"));
+        assert!(json.contains("\"mean_ns\": null"));
+        assert!(json.contains("\"ratio\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

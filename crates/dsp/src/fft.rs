@@ -1,9 +1,14 @@
-//! A small radix-2 FFT for frequency-domain cross-validation.
+//! A small radix-2 FFT for frequency-domain cross-validation and fast
+//! convolution.
 //!
 //! Used to derive S-parameters from time-domain scattering responses (see
-//! `divot-txline`'s frequency-domain tests) and for spectral analysis of
-//! reconstructed IIPs. Not performance-critical — the iTDR itself never
-//! needs an FFT (that's the point of the architecture).
+//! `divot-txline`'s frequency-domain tests), for spectral analysis of
+//! reconstructed IIPs, and — via [`convolve_real`] / [`fft_real_padded`] /
+//! [`ifft_in_place`] — for the LTI impulse-response fast path in
+//! `divot_txline::impulse`, which synthesizes edge responses for new drive
+//! shapes by convolution instead of re-running the scattering engine. The
+//! iTDR itself still never needs an FFT (that's the point of the
+//! architecture); the simulator merely uses one to go faster.
 
 /// A complex number as a `(re, im)` pair.
 pub type Complex = (f64, f64);
@@ -63,15 +68,61 @@ pub fn fft_in_place(data: &mut [Complex]) {
     }
 }
 
+/// In-place inverse FFT (the exact inverse of [`fft_in_place`], including
+/// the `1/n` normalization), via the conjugation identity
+/// `ifft(x) = conj(fft(conj(x)))/n`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    for v in data.iter_mut() {
+        v.1 = -v.1;
+    }
+    fft_in_place(data);
+    let n = data.len().max(1) as f64;
+    for v in data.iter_mut() {
+        *v = (v.0 / n, -v.1 / n);
+    }
+}
+
 /// FFT of a real signal, zero-padded to the next power of two.
 ///
 /// Returns the full complex spectrum (length = padded size).
 pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
-    let n = signal.len().next_power_of_two().max(1);
+    fft_real_padded(signal, signal.len().next_power_of_two().max(1))
+}
+
+/// FFT of a real signal zero-padded to an explicit power-of-two size `n`
+/// (used when several signals must share one spectral grid, e.g. fast
+/// convolution against a precomputed kernel spectrum).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is smaller than the signal.
+pub fn fft_real_padded(signal: &[f64], n: usize) -> Vec<Complex> {
+    assert!(n >= signal.len(), "pad size must cover the signal");
     let mut data: Vec<Complex> = signal.iter().map(|&x| (x, 0.0)).collect();
     data.resize(n, (0.0, 0.0));
     fft_in_place(&mut data);
     data
+}
+
+/// First `n_out` samples of the linear convolution `a ⊛ b`, computed by
+/// FFT. The transform size covers the full linear convolution, so there is
+/// no circular aliasing in the returned prefix.
+pub fn convolve_real(a: &[f64], b: &[f64], n_out: usize) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() || n_out == 0 {
+        return vec![0.0; n_out];
+    }
+    let n = (a.len() + b.len() - 1).next_power_of_two();
+    let fa = fft_real_padded(a, n);
+    let mut fb = fft_real_padded(b, n);
+    for (x, y) in fb.iter_mut().zip(&fa) {
+        *x = c_mul(*x, *y);
+    }
+    ifft_in_place(&mut fb);
+    fb.iter().take(n_out).map(|&(re, _)| re).collect()
 }
 
 /// The frequency (Hz) of spectrum bin `k` for a signal sampled at `dt`
@@ -162,5 +213,55 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut d = vec![(0.0, 0.0); 6];
         fft_in_place(&mut d);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let sig: Vec<Complex> = (0..32)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut data = sig.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (orig, round) in sig.iter().zip(&data) {
+            assert!((orig.0 - round.0).abs() < 1e-12);
+            assert!((orig.1 - round.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let a: Vec<f64> = (0..23).map(|i| ((i * 5 + 1) % 7) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..17).map(|i| ((i * 3 + 2) % 5) as f64 * 0.5).collect();
+        let n_out = a.len() + b.len() - 1;
+        let fast = convolve_real(&a, &b, n_out);
+        for (n, &y) in fast.iter().enumerate() {
+            let direct: f64 = (0..=n)
+                .filter(|&m| m < a.len() && n - m < b.len())
+                .map(|m| a[m] * b[n - m])
+                .sum();
+            assert!((y - direct).abs() < 1e-10, "n={n}: {y} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn convolution_prefix_has_no_circular_aliasing() {
+        // An impulse at the end of `b` shifts `a` to the tail; the prefix
+        // before the shift must be exactly zero-free of wraparound.
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut b = vec![0.0; 8];
+        b[7] = 1.0;
+        let y = convolve_real(&a, &b, 11);
+        for (i, &v) in y.iter().enumerate().take(7) {
+            assert!(v.abs() < 1e-12, "y[{i}]={v}");
+        }
+        assert!((y[7] - 1.0).abs() < 1e-12);
+        assert!((y[10] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_with_empty_operand_is_zero() {
+        assert_eq!(convolve_real(&[], &[1.0, 2.0], 3), vec![0.0; 3]);
+        assert_eq!(convolve_real(&[1.0], &[], 2), vec![0.0; 2]);
     }
 }

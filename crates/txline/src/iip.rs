@@ -161,6 +161,14 @@ impl IipProfile {
         &self.z
     }
 
+    /// Characteristic impedance of the first segment — what the driver
+    /// launches into. The Thevenin drive divider and the source reflection
+    /// coefficient both depend on exactly this value, so it has a named
+    /// accessor instead of `impedances()[0]` scattered across call sites.
+    pub fn z_at_source(&self) -> f64 {
+        self.z[0]
+    }
+
     /// Mutable per-segment impedances, for attack/environment transforms.
     pub fn impedances_mut(&mut self) -> &mut [f64] {
         &mut self.z

@@ -16,9 +16,13 @@
 //!   attenuation, reactive terminations, and 3-port tap junctions. This is
 //!   the physical process a TDR observes.
 //! * [`response`] — batched acquisition on top of [`scatter`]: one engine
-//!   run per distinct (network, env-state, drive) tuple, served from an
-//!   explicit environment-keyed [`ResponseCache`] so equivalent-time
-//!   sampling never re-simulates an unchanged physical state.
+//!   run per distinct (network, env-state) pair, served from an explicit
+//!   environment-keyed [`ResponseCache`] so equivalent-time sampling never
+//!   re-simulates an unchanged physical state; drive changes re-render
+//!   from cached impulse responses instead of re-simulating.
+//! * [`impulse`] — the LTI fast path behind that reuse: one unit-impulse
+//!   kernel run per (network, env-state), then any drive shape / amplitude /
+//!   rise time by FFT convolution.
 //! * [`termination`] — load models: matched/open/short/resistive and the
 //!   R ∥ C input of a real receiver chip (whose replacement is the cold-boot
 //!   / Trojan signature of Fig. 9(b,c)).
@@ -53,6 +57,7 @@ pub mod attack;
 pub mod board;
 pub mod env;
 pub mod iip;
+pub mod impulse;
 pub mod response;
 pub mod scatter;
 pub mod sparam;
@@ -64,6 +69,7 @@ pub use attack::Attack;
 pub use board::{Board, BoardConfig};
 pub use env::Environment;
 pub use iip::{FabricationProcess, IipProfile};
+pub use impulse::ImpulseResponse;
 pub use response::ResponseCache;
 pub use scatter::{Network, SimConfig, Tap, TxLine};
 pub use termination::Termination;

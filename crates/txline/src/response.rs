@@ -14,23 +14,33 @@
 //!
 //! * [`Network::edge_response_batch`] — one engine run serving an arbitrary
 //!   batch of sample times (the whole ETS schedule in one call).
-//! * [`ResponseCache`] — an explicit, bounded, instrumented cache keyed on
-//!   [`EnvState`]. A static environment maps every instant to the same key,
-//!   so the engine runs once per enrollment; a swinging oven or vibration
-//!   chirp quantizes into a bounded key set and the cache absorbs the
-//!   revisits. Mutating the network (an [`Attack`](crate::attack::Attack),
-//!   a load swap) must be followed by [`ResponseCache::invalidate`] — the
-//!   cache cannot observe the mutation itself.
+//! * [`ResponseCache`] — an explicit, bounded, instrumented **two-tier**
+//!   cache keyed on [`EnvState`]. The expensive tier holds one
+//!   [`ImpulseResponse`] per environmental
+//!   state — the only thing that costs a scattering-engine run. The cheap
+//!   tier holds the waveform for the *current* drive, synthesized from the
+//!   impulse response by FFT convolution. Changing the drive with
+//!   [`ResponseCache::set_sim_config`] therefore drops only the derived
+//!   waveforms; the impulse responses survive and every state re-renders
+//!   without touching the engine. A static environment maps every instant
+//!   to the same key, so the engine runs once per enrollment; a swinging
+//!   oven or vibration chirp quantizes into a bounded key set and the cache
+//!   absorbs the revisits. Mutating the network (an
+//!   [`Attack`](crate::attack::Attack), a load swap) must be followed by
+//!   [`ResponseCache::invalidate`] — the cache cannot observe the mutation
+//!   itself.
 //!
 //! Waveforms are handed out as `Arc<Waveform>` so concurrent acquisition
 //! lanes can sample one simulation result without cloning megabytes of
 //! samples.
 
 use crate::env::{EnvState, Environment};
+use crate::impulse::ImpulseResponse;
 use crate::scatter::{Network, SimConfig};
 use crate::units::Seconds;
 use divot_dsp::waveform::Waveform;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Default bound on distinct cached environmental states (keeps memory
@@ -57,23 +67,51 @@ impl Network {
 pub struct CacheStats {
     /// Lookups served from a cached waveform.
     pub hits: u64,
-    /// Lookups that ran the scattering engine.
+    /// Lookups that could not be served from the derived-waveform tier.
+    ///
+    /// A miss costs either a full engine run (`engine_runs`) or — when the
+    /// state's impulse response is still cached after a drive change — just
+    /// an FFT render (`renders`).
     pub misses: u64,
+    /// Scattering-engine runs (the expensive part: one unit-impulse
+    /// simulation per distinct environmental state).
+    pub engine_runs: u64,
+    /// Waveforms synthesized from a cached impulse response by FFT
+    /// convolution (cheap; no engine run).
+    pub renders: u64,
     /// Explicit invalidations (attack / network / drive changes).
     pub invalidations: u64,
     /// Evictions forced by the capacity bound.
     pub evictions: u64,
 }
 
-/// An explicit, bounded cache of edge-response waveforms keyed on the
-/// quantized environmental state.
+impl fmt::Display for CacheStats {
+    /// The machine-grepable stats line printed by the benches and quoted in
+    /// `EXPERIMENTS.md`:
+    /// `hits=… misses=… engine_runs=… renders=… invalidations=… evictions=…`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} engine_runs={} renders={} invalidations={} evictions={}",
+            self.hits, self.misses, self.engine_runs, self.renders, self.invalidations,
+            self.evictions
+        )
+    }
+}
+
+/// An explicit, bounded, two-tier cache of edge-response waveforms keyed on
+/// the quantized environmental state.
 ///
 /// The cache owns the drive configuration: a given `ResponseCache` answers
-/// for exactly one (drive, network-identity) pair, and the *caller* is
-/// responsible for calling [`invalidate`](Self::invalidate) whenever the
-/// network it passes in changes identity (an attack, a module swap). The
-/// environment, by contrast, is handled automatically — each lookup
-/// quantizes the instant into an [`EnvState`] key.
+/// for exactly one (drive, network-identity) pair at a time, and the
+/// *caller* is responsible for calling [`invalidate`](Self::invalidate)
+/// whenever the network it passes in changes identity (an attack, a module
+/// swap). The environment, by contrast, is handled automatically — each
+/// lookup quantizes the instant into an [`EnvState`] key. Drive changes via
+/// [`set_sim_config`](Self::set_sim_config) are *cheap*: the engine-priced
+/// impulse-response tier is keyed on [`EnvState`] only, so a new amplitude /
+/// rise time / edge shape re-renders each state by convolution instead of
+/// re-simulating it.
 ///
 /// ```
 /// use divot_txline::env::Environment;
@@ -81,7 +119,7 @@ pub struct CacheStats {
 /// use divot_txline::response::ResponseCache;
 /// use divot_txline::scatter::{SimConfig, TxLine};
 /// use divot_txline::termination::Termination;
-/// use divot_txline::units::{Meters, Ohms, Seconds};
+/// use divot_txline::units::{Meters, Ohms, Seconds, Volts};
 ///
 /// let line = TxLine::new(
 ///     IipProfile::uniform(Ohms(50.0), Meters(0.25), 64),
@@ -96,11 +134,21 @@ pub struct CacheStats {
 /// assert!(std::sync::Arc::ptr_eq(&a, &b)); // same simulation, zero rework
 /// assert_eq!(cache.stats().misses, 1);
 /// assert_eq!(cache.stats().hits, 1);
+///
+/// // A drive change re-renders from the cached impulse response — the
+/// // engine does not run again.
+/// cache.set_sim_config(SimConfig { amplitude: Volts(1.8), ..SimConfig::default() });
+/// let _ = cache.response_at(&net, &env, Seconds(120.0));
+/// assert_eq!(cache.stats().engine_runs, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResponseCache {
     sim: SimConfig,
-    map: HashMap<EnvState, Arc<Waveform>>,
+    /// Expensive tier: one engine run per entry, reusable across drives.
+    impulses: HashMap<EnvState, Arc<ImpulseResponse>>,
+    /// Cheap tier: the waveform for the *current* `sim`, rendered from
+    /// `impulses`.
+    derived: HashMap<EnvState, Arc<Waveform>>,
     capacity: usize,
     stats: CacheStats,
 }
@@ -112,11 +160,13 @@ impl ResponseCache {
         Self::with_capacity(sim, DEFAULT_RESPONSE_CACHE_CAP)
     }
 
-    /// An empty cache with an explicit capacity bound (≥ 1).
+    /// An empty cache with an explicit capacity bound (≥ 1) applied to each
+    /// tier independently.
     pub fn with_capacity(sim: SimConfig, capacity: usize) -> Self {
         Self {
             sim,
-            map: HashMap::new(),
+            impulses: HashMap::new(),
+            derived: HashMap::new(),
             capacity: capacity.max(1),
             stats: CacheStats::default(),
         }
@@ -127,12 +177,20 @@ impl ResponseCache {
         &self.sim
     }
 
-    /// Replace the drive configuration; cached waveforms for the old drive
-    /// are invalidated.
+    /// Replace the drive configuration.
+    ///
+    /// Derived waveforms for the old drive are dropped, but the cached
+    /// impulse responses are **kept**: the next lookup per state re-renders
+    /// by convolution (`renders` ticks up) instead of re-running the engine
+    /// (`engine_runs` does not). An impulse response only becomes unusable
+    /// when the new drive changes the *system* (source impedance) or needs
+    /// a longer simulated span — `response_for_state` detects that per
+    /// entry and falls back to a fresh engine run for just those states.
     pub fn set_sim_config(&mut self, sim: SimConfig) {
         if sim != self.sim {
             self.sim = sim;
-            self.invalidate();
+            self.derived.clear();
+            self.stats.invalidations += 1;
         }
     }
 
@@ -150,56 +208,87 @@ impl ResponseCache {
 
     /// The response waveform for an explicit pre-quantized state (callers
     /// that already hold the [`EnvState`] avoid re-quantizing).
+    ///
+    /// Cost ladder, cheapest first: derived-tier hit (pointer clone) →
+    /// impulse-tier hit (one FFT render) → full scattering-engine run.
     pub fn response_for_state(
         &mut self,
         base: &Network,
         env: &Environment,
         state: EnvState,
     ) -> Arc<Waveform> {
-        if let Some(wf) = self.map.get(&state) {
+        if let Some(wf) = self.derived.get(&state) {
             self.stats.hits += 1;
             return Arc::clone(wf);
         }
         self.stats.misses += 1;
-        if self.map.len() >= self.capacity {
-            // Whole-cache eviction: under a time-varying environment the key
-            // set is bounded by quantization, so hitting the cap at all means
-            // the working set rotated; dropping everything is simpler than
-            // LRU bookkeeping and costs one re-simulation per live key.
-            self.map.clear();
+        let ir = match self.impulses.get(&state) {
+            Some(ir) if ir.supports(&self.sim) => Arc::clone(ir),
+            _ => {
+                if self.impulses.len() >= self.capacity {
+                    // Whole-tier eviction: under a time-varying environment
+                    // the key set is bounded by quantization, so hitting the
+                    // cap at all means the working set rotated; dropping
+                    // everything is simpler than LRU bookkeeping and costs
+                    // one re-simulation per live key.
+                    self.impulses.clear();
+                    self.stats.evictions += 1;
+                }
+                let net = env.apply(base, &state);
+                self.stats.engine_runs += 1;
+                let ir = Arc::new(net.impulse_response(&self.sim));
+                self.impulses.insert(state, Arc::clone(&ir));
+                ir
+            }
+        };
+        if self.derived.len() >= self.capacity {
+            self.derived.clear();
             self.stats.evictions += 1;
         }
-        let net = env.apply(base, &state);
-        let wf = Arc::new(net.edge_response(&self.sim));
-        self.map.insert(state, Arc::clone(&wf));
+        self.stats.renders += 1;
+        let wf = Arc::new(
+            ir.render(&self.sim)
+                .expect("impulse response was built (or vetted) for this sim config"),
+        );
+        self.derived.insert(state, Arc::clone(&wf));
         wf
     }
 
-    /// Drop every cached waveform. Must be called when the network the
-    /// cache is being queried with changes identity — after an
-    /// [`Attack`](crate::attack::Attack) mutates it, after a module swap —
-    /// since the cache keys only on environmental state.
+    /// Drop every cached waveform **and** impulse response. Must be called
+    /// when the network the cache is being queried with changes identity —
+    /// after an [`Attack`](crate::attack::Attack) mutates it, after a
+    /// module swap — since the cache keys only on environmental state.
     pub fn invalidate(&mut self) {
-        self.map.clear();
+        self.impulses.clear();
+        self.derived.clear();
         self.stats.invalidations += 1;
     }
 
-    /// Number of distinct environmental states currently cached.
+    /// Number of distinct environmental states with a waveform cached for
+    /// the current drive.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.derived.len()
     }
 
-    /// Whether the cache holds no waveforms.
+    /// Whether the cache holds no waveforms for the current drive (cached
+    /// impulse responses may still exist; see
+    /// [`cached_impulses`](Self::cached_impulses)).
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.derived.is_empty()
     }
 
-    /// The capacity bound.
+    /// Number of distinct environmental states with a cached impulse
+    /// response (the engine-priced tier, which survives drive changes).
+    pub fn cached_impulses(&self) -> usize {
+        self.impulses.len()
+    }
+
+    /// The per-tier capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Lifetime hit/miss/invalidation counters.
+    /// Lifetime hit/miss/engine-run/render/invalidation/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
@@ -212,7 +301,7 @@ mod tests {
     use crate::iip::IipProfile;
     use crate::scatter::TxLine;
     use crate::termination::Termination;
-    use crate::units::{Meters, Ohms};
+    use crate::units::{Meters, Ohms, Volts};
 
     fn net() -> Network {
         TxLine::new(
@@ -245,6 +334,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 9);
+        assert_eq!(cache.stats().engine_runs, 1);
     }
 
     #[test]
@@ -270,10 +360,12 @@ mod tests {
         let attacked = Attack::paper_wiretap().apply(&n);
         cache.invalidate();
         assert!(cache.is_empty());
+        assert_eq!(cache.cached_impulses(), 0);
         let after = cache.response_at(&attacked, &env, Seconds(0.0));
         assert_ne!(*before, *after);
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().engine_runs, 2);
     }
 
     #[test]
@@ -289,21 +381,93 @@ mod tests {
     }
 
     #[test]
-    fn changing_drive_invalidates() {
+    fn static_env_workload_never_evicts_itself() {
+        // Regression: a single-state working set must be immune to the
+        // capacity bound, even at the minimum capacity of 1 — eviction is
+        // checked before inserting a *new* entry, never on a hit.
+        let mut cache = ResponseCache::with_capacity(SimConfig::default(), 1);
+        let env = Environment::room();
+        let n = net();
+        for i in 0..100 {
+            let _ = cache.response_at(&n, &env, Seconds(i as f64));
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().engine_runs, 1);
+        assert_eq!(cache.stats().hits, 99);
+    }
+
+    #[test]
+    fn changing_drive_invalidates_derived_tier() {
         let mut cache = ResponseCache::new(SimConfig::default());
         let env = Environment::room();
         let n = net();
         let _ = cache.response_at(&n, &env, Seconds(0.0));
         let sim2 = SimConfig {
-            amplitude: crate::units::Volts(1.8),
+            amplitude: Volts(1.8),
             ..SimConfig::default()
         };
         cache.set_sim_config(sim2);
         assert!(cache.is_empty());
+        assert_eq!(cache.cached_impulses(), 1); // expensive tier survives
         // Same config again is a no-op (no spurious invalidation).
         let inv = cache.stats().invalidations;
         cache.set_sim_config(sim2);
         assert_eq!(cache.stats().invalidations, inv);
+    }
+
+    #[test]
+    fn drive_change_reuses_cached_impulse_responses() {
+        // The acceptance criterion: after a drive change, serving the same
+        // environmental state costs zero extra engine runs — only a render.
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let _ = cache.response_at(&n, &env, Seconds(0.0));
+        assert_eq!(cache.stats().engine_runs, 1);
+        for amp in [1.23, 1.8, 0.3] {
+            cache.set_sim_config(SimConfig {
+                amplitude: Volts(amp),
+                ..SimConfig::default()
+            });
+            let _ = cache.response_at(&n, &env, Seconds(0.0));
+        }
+        assert_eq!(cache.stats().engine_runs, 1, "drive changes must not re-simulate");
+        assert_eq!(cache.stats().renders, 4);
+    }
+
+    #[test]
+    fn drive_change_that_alters_the_system_falls_back_to_engine() {
+        // Source impedance is part of the system (ρ_source), not the
+        // stimulus: the cached impulse response cannot serve it.
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let _ = cache.response_at(&n, &env, Seconds(0.0));
+        cache.set_sim_config(SimConfig {
+            source_impedance: Ohms(40.0),
+            ..SimConfig::default()
+        });
+        let _ = cache.response_at(&n, &env, Seconds(0.0));
+        assert_eq!(cache.stats().engine_runs, 2);
+    }
+
+    #[test]
+    fn cached_waveform_matches_direct_simulation() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let cached = cache.response_at(&n, &env, Seconds(0.0));
+        let direct = env
+            .apply(&n, &env.state_at(Seconds(0.0)))
+            .edge_response(&SimConfig::default());
+        assert_eq!(cached.len(), direct.len());
+        let max_diff = cached
+            .samples()
+            .iter()
+            .zip(direct.samples())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 1e-11, "render vs direct: {max_diff}");
     }
 
     #[test]
@@ -314,5 +478,21 @@ mod tests {
         let a = cache.response_at(&n, &env, Seconds(0.0));
         let b = cache.response_at(&n, &env, Seconds(1.0));
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn stats_line_reports_every_counter() {
+        let stats = CacheStats {
+            hits: 7,
+            misses: 2,
+            engine_runs: 1,
+            renders: 2,
+            invalidations: 3,
+            evictions: 4,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "hits=7 misses=2 engine_runs=1 renders=2 invalidations=3 evictions=4"
+        );
     }
 }

@@ -17,6 +17,19 @@
 //! The recorded output is the backward wave arriving at the source each
 //! tick — the back-reflection waveform whose shape *is* the line's IIP
 //! signature, observed through the launched edge.
+//!
+//! # Kernel design
+//!
+//! [`Engine::run`] is the optimized kernel every measurement funnels
+//! through: reflection coefficients and their `1±ρ` companions are
+//! precomputed into flat tables in [`Engine::new`] (no divisions in the
+//! hot loop), and the interface walk is split into contiguous tap-free
+//! spans separated by tap junctions so the span sweep is branch-free and
+//! auto-vectorizable, with a dedicated no-tap fast path for the untampered
+//! network. The naive kernel survives as [`Engine::run_reference`] and the
+//! two are bitwise identical (same IEEE-754 operations in the same order).
+//! On top of the kernel, [`crate::impulse`] exploits linearity to reuse
+//! one simulation across arbitrarily many drive shapes.
 
 use crate::iip::IipProfile;
 use crate::termination::{Reflector, Termination};
@@ -201,10 +214,15 @@ impl SimConfig {
     /// rate. The Thevenin divider scales the driver swing by
     /// `Z₀/(Z_s+Z₀)`.
     pub fn drive_samples(&self, line: &TxLine, ticks: usize) -> Vec<f64> {
-        let z0 = line.profile.impedances()[0];
-        let divider = z0 / (self.source_impedance.0 + z0);
+        self.drive_samples_with(line.profile.z_at_source(), line.tick().0, ticks)
+    }
+
+    /// [`drive_samples`](Self::drive_samples) for an explicit launch
+    /// impedance and tick length — the form used by the impulse-response
+    /// synthesis path, which holds the grid parameters but not the line.
+    pub fn drive_samples_with(&self, z_source: f64, dt: f64, ticks: usize) -> Vec<f64> {
+        let divider = z_source / (self.source_impedance.0 + z_source);
         let a = self.amplitude.0 * divider;
-        let dt = line.tick().0;
         (0..ticks)
             .map(|t| a * self.shape.at(t as f64 * dt / self.rise_time.0))
             .collect()
@@ -212,9 +230,14 @@ impl SimConfig {
 
     /// Number of engine ticks this config simulates for `line`.
     pub fn ticks_for(&self, line: &TxLine) -> usize {
-        let k = line.profile.len();
-        let rise_ticks = (self.rise_time.0 / line.tick().0).ceil() as usize;
-        (2.0 * k as f64 * self.duration_factor) as usize + rise_ticks + 64
+        self.ticks_for_grid(line.profile.len(), line.tick().0)
+    }
+
+    /// [`ticks_for`](Self::ticks_for) for an explicit segment count and
+    /// tick length.
+    pub fn ticks_for_grid(&self, segments: usize, dt: f64) -> usize {
+        let rise_ticks = (self.rise_time.0 / dt).ceil() as usize;
+        (2.0 * segments as f64 * self.duration_factor) as usize + rise_ticks + 64
     }
 }
 
@@ -264,12 +287,45 @@ struct StubState {
     reflector: Reflector,
 }
 
+/// One step of the optimized engine's per-tick execution plan: a
+/// contiguous run of tap-free interfaces swept branch-free, or a single
+/// tap junction. Built once in [`Engine::new`] (taps are sorted there), so
+/// the hot loop never re-discovers where the taps are.
+#[derive(Debug, Clone, Copy)]
+enum PlanStep {
+    /// Tap-free interfaces `lo..hi` (half-open).
+    Span {
+        lo: usize,
+        hi: usize,
+    },
+    /// The junction at `taps[tap]`.
+    Tap {
+        tap: usize,
+    },
+}
+
 /// The scattering engine for one network under one drive configuration.
 ///
 /// Users normally call [`Network::edge_response`]; the engine is public so
 /// benchmarks can measure it in isolation.
+///
+/// Two kernels are compiled: [`Engine::run`], the optimized kernel
+/// (precomputed reflection tables, branch-free tap-span splitting), and
+/// [`Engine::run_reference`], the direct transcription of the physics that
+/// recomputes `ρ` per interface per tick. The optimized kernel performs
+/// the same IEEE-754 operations in the same order, so the two are bitwise
+/// identical; equivalence is pinned by unit tests here and by the
+/// proptests in `tests/scatter_equiv.rs`.
 pub struct Engine {
     z: Vec<f64>,
+    // Precomputed reflection tables, indexed by interface: rho[i] is the
+    // reflection entering segment i from segment i−1 (index 0 is padding
+    // so the tables align with z/f/b). Computing these once in `new`
+    // removes every division from the hot loop.
+    rho: Vec<f64>,
+    one_plus_rho: Vec<f64>,
+    one_minus_rho: Vec<f64>,
+    plan: Vec<PlanStep>,
     f: Vec<f64>,
     b: Vec<f64>,
     nf: Vec<f64>,
@@ -281,6 +337,42 @@ pub struct Engine {
     taps: Vec<(usize, Junction3, StubState)>,
     ticks: usize,
     dt: f64,
+}
+
+/// Branch-free sweep of one tap-free interface span: scatter the
+/// attenuated incident waves through the precomputed reflection tables.
+/// All slices have the same length; zipped iteration elides the bounds
+/// checks so LLVM can unroll and vectorize the loop.
+///
+/// The arithmetic is expression-for-expression the reference kernel's
+/// (`inc_l = a·f`, `inc_r = a·b`, then the `1±ρ` scattering form), so the
+/// result is bitwise identical to [`Engine::run_reference`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn sweep_span(
+    a: f64,
+    f_prev: &[f64],
+    b_cur: &[f64],
+    rho: &[f64],
+    one_plus_rho: &[f64],
+    one_minus_rho: &[f64],
+    nf_cur: &mut [f64],
+    nb_prev: &mut [f64],
+) {
+    let it = nf_cur
+        .iter_mut()
+        .zip(nb_prev)
+        .zip(f_prev)
+        .zip(b_cur)
+        .zip(rho)
+        .zip(one_plus_rho)
+        .zip(one_minus_rho);
+    for ((((((nf, nb), &fp), &bc), &r), &p), &m) in it {
+        let inc_l = a * fp;
+        let inc_r = a * bc;
+        *nf = p * inc_l - r * inc_r;
+        *nb = r * inc_l + m * inc_r;
+    }
 }
 
 impl Engine {
@@ -297,8 +389,9 @@ impl Engine {
         let dt = line.tick().0;
         let seg_len = line.profile.segment_length().0;
         let atten = 10f64.powf(-line.loss_db_per_m * seg_len / 20.0);
+        let z_src = line.profile.z_at_source();
         let rho_source =
-            (cfg.source_impedance.0 - z[0]) / (cfg.source_impedance.0 + z[0]);
+            (cfg.source_impedance.0 - z_src) / (cfg.source_impedance.0 + z_src);
         let reflector = line.termination.reflector(Ohms(z[k - 1]), dt);
 
         let mut taps = Vec::new();
@@ -334,12 +427,45 @@ impl Engine {
             );
         }
         let ticks = cfg.ticks_for(line);
+
+        // Precompute the per-interface reflection tables once — the hot
+        // loop then runs division-free.
+        let mut rho = vec![0.0; k];
+        let mut one_plus_rho = vec![0.0; k];
+        let mut one_minus_rho = vec![0.0; k];
+        for i in 1..k {
+            let r = (z[i] - z[i - 1]) / (z[i] + z[i - 1]);
+            rho[i] = r;
+            one_plus_rho[i] = 1.0 + r;
+            one_minus_rho[i] = 1.0 - r;
+        }
+
+        // Split the interface walk 1..k into tap-free spans separated by
+        // tap junctions (taps are sorted above), so the per-tick loop
+        // never tests for taps inside a span.
+        let mut plan = Vec::with_capacity(2 * taps.len() + 1);
+        let mut lo = 1;
+        for (ti, (iface, _, _)) in taps.iter().enumerate() {
+            if *iface > lo {
+                plan.push(PlanStep::Span { lo, hi: *iface });
+            }
+            plan.push(PlanStep::Tap { tap: ti });
+            lo = *iface + 1;
+        }
+        if lo < k {
+            plan.push(PlanStep::Span { lo, hi: k });
+        }
+
         Self {
             f: vec![0.0; k],
             b: vec![0.0; k],
             nf: vec![0.0; k],
             nb: vec![0.0; k],
             z,
+            rho,
+            one_plus_rho,
+            one_minus_rho,
+            plan,
             atten,
             rho_source,
             reflector,
@@ -354,21 +480,168 @@ impl Engine {
         self.ticks
     }
 
+    /// Reset all wave state (main-line and stub waves, termination filter
+    /// state) so the engine can be reused for an independent run without
+    /// reallocating.
+    pub fn reset(&mut self) {
+        self.f.fill(0.0);
+        self.b.fill(0.0);
+        self.nf.fill(0.0);
+        self.nb.fill(0.0);
+        self.reflector.reset();
+        for (_, _, stub) in &mut self.taps {
+            stub.f.fill(0.0);
+            stub.b.fill(0.0);
+            stub.reflector.reset();
+        }
+    }
+
+    /// Drive sample at tick `t`: slices shorter than the run are extended
+    /// by *holding the last sample* (physically right for a step edge —
+    /// the driver stays at its settled level), and an empty drive is all
+    /// zeros.
+    #[inline]
+    fn drive_at(drive: &[f64], t: usize) -> f64 {
+        drive
+            .get(t)
+            .copied()
+            .unwrap_or_else(|| drive.last().copied().unwrap_or(0.0))
+    }
+
     /// Run the simulation, driving the source with `drive` (incident-wave
-    /// amplitudes per tick; shorter slices are zero-extended) and recording
-    /// the backward wave arriving at the source each tick.
+    /// amplitudes per tick; slices shorter than the run are extended by
+    /// *holding the last sample* — physically right for a step edge, whose
+    /// driver stays at its settled level) and recording the backward wave
+    /// arriving at the source each tick.
+    ///
+    /// This is the optimized kernel: reflection coefficients come from
+    /// tables precomputed in [`Engine::new`] and tap junctions are visited
+    /// via the span plan instead of a per-interface branch. It is bitwise
+    /// identical to [`Engine::run_reference`].
     pub fn run(&mut self, drive: &[f64]) -> Waveform {
+        if self.taps.is_empty() {
+            self.run_clean(drive)
+        } else {
+            self.run_tapped(drive)
+        }
+    }
+
+    /// The no-tap fast path: the untampered network is the common case
+    /// (every enrollment, every clean monitor tick), and with no junctions
+    /// the whole interface walk is one tight sweep.
+    fn run_clean(&mut self, drive: &[f64]) -> Waveform {
         let k = self.z.len();
         let a = self.atten;
         let mut out = Vec::with_capacity(self.ticks);
 
         for t in 0..self.ticks {
-            let drive_t = drive.get(t).copied().unwrap_or_else(|| {
-                drive.last().copied().unwrap_or(0.0)
-            });
+            let drive_t = Self::drive_at(drive, t);
 
             // Source interface: the arriving backward wave is the detector
             // signal; part of it re-reflects off the source impedance.
+            let arriving = a * self.b[0];
+            out.push(arriving);
+            self.nf[0] = drive_t + self.rho_source * arriving;
+
+            // Internal interfaces 1..k in one branch-free sweep.
+            sweep_span(
+                a,
+                &self.f[..k - 1],
+                &self.b[1..],
+                &self.rho[1..],
+                &self.one_plus_rho[1..],
+                &self.one_minus_rho[1..],
+                &mut self.nf[1..],
+                &mut self.nb[..k - 1],
+            );
+
+            // Termination interface.
+            let inc_end = a * self.f[k - 1];
+            self.nb[k - 1] = self.reflector.step(inc_end);
+
+            std::mem::swap(&mut self.f, &mut self.nf);
+            std::mem::swap(&mut self.b, &mut self.nb);
+        }
+        Waveform::new(0.0, self.dt, out)
+    }
+
+    /// The tapped path: walk the precomputed plan — tap-free spans swept
+    /// exactly like the clean path, tap junctions scattered in between.
+    fn run_tapped(&mut self, drive: &[f64]) -> Waveform {
+        let k = self.z.len();
+        let a = self.atten;
+        let mut out = Vec::with_capacity(self.ticks);
+
+        for t in 0..self.ticks {
+            let drive_t = Self::drive_at(drive, t);
+
+            let arriving = a * self.b[0];
+            out.push(arriving);
+            self.nf[0] = drive_t + self.rho_source * arriving;
+
+            for si in 0..self.plan.len() {
+                match self.plan[si] {
+                    PlanStep::Span { lo, hi } => sweep_span(
+                        a,
+                        &self.f[lo - 1..hi - 1],
+                        &self.b[lo..hi],
+                        &self.rho[lo..hi],
+                        &self.one_plus_rho[lo..hi],
+                        &self.one_minus_rho[lo..hi],
+                        &mut self.nf[lo..hi],
+                        &mut self.nb[lo - 1..hi - 1],
+                    ),
+                    PlanStep::Tap { tap } => {
+                        let (iface, junction, stub) = &mut self.taps[tap];
+                        let i = *iface;
+                        let inc_l = a * self.f[i - 1];
+                        let inc_r = a * self.b[i];
+                        let inc_s = stub.atten * stub.b[0];
+                        let outw = junction.scatter([inc_l, inc_r, inc_s]);
+                        self.nb[i - 1] = outw[0];
+                        self.nf[i] = outw[1];
+                        // Advance the stub internals (uniform, so pure
+                        // delay) and its termination.
+                        let ks = stub.f.len();
+                        let arriving_end = stub.atten * stub.f[ks - 1];
+                        let refl_end = stub.reflector.step(arriving_end);
+                        for j in (1..ks).rev() {
+                            stub.f[j] = stub.atten * stub.f[j - 1];
+                        }
+                        stub.f[0] = outw[2];
+                        for j in 0..ks - 1 {
+                            stub.b[j] = stub.atten * stub.b[j + 1];
+                        }
+                        stub.b[ks - 1] = refl_end;
+                    }
+                }
+            }
+
+            let inc_end = a * self.f[k - 1];
+            self.nb[k - 1] = self.reflector.step(inc_end);
+
+            std::mem::swap(&mut self.f, &mut self.nf);
+            std::mem::swap(&mut self.b, &mut self.nb);
+        }
+        Waveform::new(0.0, self.dt, out)
+    }
+
+    /// The naive reference kernel: recomputes `ρ = (Z₂−Z₁)/(Z₂+Z₁)` per
+    /// interface per tick and checks for a tap inside the interface loop —
+    /// a direct transcription of the physics. Kept (and exported) as the
+    /// ground truth the optimized [`Engine::run`] is pinned against in
+    /// tests and measured against in `crates/bench/benches/scatter.rs`.
+    ///
+    /// Drive slices shorter than the run are extended by holding the last
+    /// sample, exactly as in [`Engine::run`].
+    pub fn run_reference(&mut self, drive: &[f64]) -> Waveform {
+        let k = self.z.len();
+        let a = self.atten;
+        let mut out = Vec::with_capacity(self.ticks);
+
+        for t in 0..self.ticks {
+            let drive_t = Self::drive_at(drive, t);
+
             let arriving = a * self.b[0];
             out.push(arriving);
             self.nf[0] = drive_t + self.rho_source * arriving;
@@ -384,8 +657,6 @@ impl Engine {
                         let outw = junction.scatter([inc_l, inc_r, inc_s]);
                         self.nb[i - 1] = outw[0];
                         self.nf[i] = outw[1];
-                        // Advance the stub internals (uniform, so pure
-                        // delay) and its termination.
                         let ks = stub.f.len();
                         let arriving_end = stub.atten * stub.f[ks - 1];
                         let refl_end = stub.reflector.step(arriving_end);
@@ -406,13 +677,11 @@ impl Engine {
                 self.nb[i - 1] = rho * inc_l + (1.0 - rho) * inc_r;
             }
 
-            // Termination interface.
             let inc_end = a * self.f[k - 1];
             self.nb[k - 1] = self.reflector.step(inc_end);
 
             std::mem::swap(&mut self.f, &mut self.nf);
             std::mem::swap(&mut self.b, &mut self.nb);
-            let _ = t;
         }
         Waveform::new(0.0, self.dt, out)
     }
@@ -619,6 +888,94 @@ mod tests {
                 prev = v;
             }
         }
+    }
+
+    #[test]
+    fn optimized_kernel_is_bitwise_identical_to_reference_clean() {
+        // A lossy inhomogeneous line into a reactive chip termination —
+        // every clean-path feature at once.
+        let process = crate::iip::FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 512, 11, 0);
+        let line = TxLine::new(
+            profile,
+            Termination::Chip(crate::termination::ChipInput::typical_sdram()),
+        );
+        let net = line.network();
+        let cfg = SimConfig::default();
+        let drive = cfg.drive_samples(&line, Engine::new(&net, &cfg).ticks());
+        let opt = Engine::new(&net, &cfg).run(&drive);
+        let reference = Engine::new(&net, &cfg).run_reference(&drive);
+        assert_eq!(opt, reference);
+    }
+
+    #[test]
+    fn optimized_kernel_is_bitwise_identical_to_reference_tapped() {
+        let process = crate::iip::FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 256, 13, 0);
+        let line = TxLine::new(
+            profile,
+            Termination::Chip(crate::termination::ChipInput::typical_sdram()),
+        );
+        let net = Network {
+            main: line.clone(),
+            taps: vec![
+                Tap {
+                    position: 0.3,
+                    stub: StubSpec::oscilloscope_tap(),
+                },
+                Tap {
+                    position: 0.72,
+                    stub: StubSpec {
+                        length: Meters(0.05),
+                        z0: Ohms(150.0),
+                        termination: Termination::Chip(
+                            crate::termination::ChipInput::typical_sdram(),
+                        ),
+                    },
+                },
+            ],
+        };
+        let cfg = fast_cfg();
+        let drive = cfg.drive_samples(&line, Engine::new(&net, &cfg).ticks());
+        let opt = Engine::new(&net, &cfg).run(&drive);
+        let reference = Engine::new(&net, &cfg).run_reference(&drive);
+        assert_eq!(opt, reference);
+    }
+
+    #[test]
+    fn reset_makes_engine_reusable() {
+        let process = crate::iip::FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 128, 17, 0);
+        let line = TxLine::new(
+            profile,
+            Termination::Chip(crate::termination::ChipInput::typical_sdram()),
+        );
+        let net = line.network();
+        let cfg = fast_cfg();
+        let mut engine = Engine::new(&net, &cfg);
+        let drive = cfg.drive_samples(&line, engine.ticks());
+        let first = engine.run(&drive);
+        engine.reset();
+        let second = engine.run(&drive);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn short_drive_slices_hold_the_last_sample() {
+        // A one-sample drive of 0.45 V behaves exactly like a settled step
+        // at 0.45 V — the hold-last extension, not zero-extension.
+        let line = uniform_line(Termination::Open);
+        let net = line.network();
+        let cfg = fast_cfg();
+        let mut engine = Engine::new(&net, &cfg);
+        let ticks = engine.ticks();
+        let held = engine.run(&[0.45]);
+        let mut full = Engine::new(&net, &cfg);
+        let explicit = full.run(&vec![0.45; ticks]);
+        assert_eq!(held, explicit);
+        // And the round-trip echo confirms the drive persisted.
+        let round_trip = 2.0 * line.one_way_delay().0;
+        assert!((held.sample_at(round_trip + 50e-12) - 0.45).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property-based equivalence of the optimized scattering kernel against
+//! the naive reference kernel, and of the LTI impulse-response fast path
+//! against direct simulation.
+//!
+//! The optimized kernel (precomputed ρ-tables + branch-free tap splitting,
+//! [`Engine::run`]) keeps the reference kernel's floating-point expressions
+//! and evaluation order intact, so its output is **bitwise identical** to
+//! [`Engine::run_reference`] — not merely close. These tests pin that down
+//! over random impedance profiles, terminations, drives, and tap layouts.
+//! The impulse-convolution path goes through an FFT, so it is held to a
+//! round-off bound instead.
+
+use divot_txline::iip::{FabricationProcess, IipProfile};
+use divot_txline::scatter::{EdgeShape, Engine, Network, SimConfig, StubSpec, Tap, TxLine};
+use divot_txline::termination::{ChipInput, Termination};
+use divot_txline::units::{Farads, Meters, Ohms, Seconds, Volts};
+use proptest::prelude::*;
+
+fn fast_sim() -> SimConfig {
+    SimConfig {
+        rise_time: Seconds(100e-12),
+        duration_factor: 2.4,
+        ..SimConfig::default()
+    }
+}
+
+fn termination_from(kind: usize) -> Termination {
+    match kind {
+        0 => Termination::Matched,
+        1 => Termination::Open,
+        2 => Termination::Short,
+        3 => Termination::Resistive(Ohms(75.0)),
+        _ => Termination::Chip(ChipInput::typical_sdram()),
+    }
+}
+
+/// Run both kernels on the same network/config/drive and assert bitwise
+/// equality sample-for-sample.
+fn assert_bitwise(net: &Network, cfg: &SimConfig) {
+    let mut opt = Engine::new(net, cfg);
+    let drive = cfg.drive_samples(&net.main, opt.ticks());
+    let optimized = opt.run(&drive);
+    let mut refr = Engine::new(net, cfg);
+    let reference = refr.run_reference(&drive);
+    assert_eq!(optimized.len(), reference.len());
+    for (i, (a, b)) in optimized
+        .samples()
+        .iter()
+        .zip(reference.samples())
+        .enumerate()
+    {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "sample {i}: optimized {a:e} != reference {b:e}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tap-free networks over fully random impedance profiles: the span
+    /// fast path must reproduce the reference bit-for-bit under every
+    /// termination model.
+    #[test]
+    fn clean_network_is_bitwise_identical(
+        z in proptest::collection::vec(30.0f64..80.0, 16..96),
+        term_kind in 0usize..5,
+    ) {
+        let line = TxLine::new(
+            IipProfile::new(z, Meters(0.002)),
+            termination_from(term_kind),
+        );
+        assert_bitwise(&line.network(), &fast_sim());
+    }
+
+    /// 1–3 taps at random positions, each with a ChipInput-terminated stub
+    /// (the stateful termination exercising the junction + stub sub-lines):
+    /// the split-loop kernel must match the reference sample-for-sample.
+    #[test]
+    fn tapped_network_is_bitwise_identical(
+        seed in 0u64..500,
+        positions in proptest::collection::vec(0.05f64..0.95, 1..4),
+        c_pf in 0.2f64..2.0,
+    ) {
+        // Distinct junction interfaces: the engine snaps each position to a
+        // segment boundary of the 128-segment line, so require the raw
+        // positions to be at least two segments apart.
+        for (i, a) in positions.iter().enumerate() {
+            for b in &positions[i + 1..] {
+                prop_assume!((a - b).abs() > 2.0 / 128.0);
+            }
+        }
+        let process = FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 128, seed, 0);
+        let main = TxLine::new(profile, Termination::Chip(ChipInput::typical_sdram()));
+        let taps = positions
+            .iter()
+            .map(|&position| Tap {
+                position,
+                stub: StubSpec {
+                    length: Meters(0.06),
+                    z0: Ohms(130.0),
+                    termination: Termination::Chip(ChipInput {
+                        resistance: Ohms(60.0),
+                        capacitance: Farads(c_pf * 1e-12),
+                    }),
+                },
+            })
+            .collect();
+        let net = Network { main, taps };
+        assert_bitwise(&net, &fast_sim());
+    }
+
+    /// Random drive parameters (amplitude, rise time, edge shape) never
+    /// break the equivalence — the kernels are drive-agnostic.
+    #[test]
+    fn random_drives_are_bitwise_identical(
+        seed in 0u64..500,
+        amp in 0.2f64..2.0,
+        rise_ps in 40.0f64..300.0,
+        shape_kind in 0usize..3,
+    ) {
+        let process = FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 96, seed, 0);
+        let line = TxLine::new(profile, Termination::Chip(ChipInput::typical_sdram()));
+        let cfg = SimConfig {
+            amplitude: Volts(amp),
+            rise_time: Seconds(rise_ps * 1e-12),
+            shape: match shape_kind {
+                0 => EdgeShape::Linear,
+                1 => EdgeShape::RaisedCosine,
+                _ => EdgeShape::Exponential,
+            },
+            ..fast_sim()
+        };
+        assert_bitwise(&line.network(), &cfg);
+    }
+
+    /// The impulse-response fast path (one kernel run + FFT convolution per
+    /// drive) matches a direct simulation to FFT round-off, across random
+    /// networks and drive variations.
+    #[test]
+    fn impulse_render_matches_direct_simulation(
+        seed in 0u64..500,
+        amp in 0.2f64..2.0,
+        rise_ps in 40.0f64..300.0,
+    ) {
+        let process = FabricationProcess::paper_prototype();
+        let profile = process.sample_profile(Meters(0.25), 128, seed, 0);
+        let line = TxLine::new(profile, Termination::Chip(ChipInput::typical_sdram()));
+        let net = line.network();
+        let base = fast_sim();
+        let ir = net.impulse_response(&base);
+        let cfg = SimConfig {
+            amplitude: Volts(amp),
+            rise_time: Seconds(rise_ps * 1e-12),
+            ..base
+        };
+        prop_assume!(ir.supports(&cfg));
+        let rendered = ir.render(&cfg).unwrap();
+        let direct = net.edge_response(&cfg);
+        prop_assert_eq!(rendered.len(), direct.len());
+        for (i, (a, b)) in rendered.samples().iter().zip(direct.samples()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "sample {}: {} vs {}", i, a, b);
+        }
+    }
+}

@@ -28,6 +28,11 @@ bench:
     cargo bench -p divot-bench --bench scatter -- --quick
     cargo bench -p divot-bench --bench auth -- --quick
 
+# Scattering-kernel benchmark with machine-readable output: writes
+# BENCH_scatter.json (timings + speedup metrics) at the repo root.
+bench-scatter:
+    CRITERION_JSON="$(pwd)/BENCH_scatter.json" cargo bench -p divot-bench --bench scatter
+
 # Regenerate every paper figure/claim output into results/.
 figures:
     for b in fig7_authentication fig8_temperature fig9_load_modification \
