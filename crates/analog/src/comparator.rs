@@ -69,6 +69,30 @@ impl Comparator {
         self.noise_sigma
     }
 
+    /// The hysteresis half-width. Non-zero hysteresis makes successive
+    /// decisions dependent, which is what forces the acquisition layer
+    /// back onto per-trial simulation.
+    pub fn hysteresis(&self) -> f64 {
+        self.hysteresis
+    }
+
+    /// Closed-form trip probability of one *memoryless* comparison:
+    /// `P{v_sig + offset + noise > v_ref}` = `Φ((v_sig + offset − v_ref)/σ)`
+    /// (paper Eq. 1, with this instance's drawn offset folded in). With
+    /// `σ = 0` the probability degenerates to a step; ties go low, matching
+    /// [`decide`](Self::decide). Hysteresis is *not* modeled — callers must
+    /// check [`hysteresis`](Self::hysteresis)`== 0` before trusting this.
+    pub fn trip_probability(&self, v_sig: f64, v_ref: f64) -> f64 {
+        let margin = v_sig + self.offset - v_ref;
+        if self.noise_sigma > 0.0 {
+            divot_dsp::gaussian::std_cdf(margin / self.noise_sigma)
+        } else if margin > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
     /// One comparison: returns `true` iff
     /// `v_sig + offset + noise > v_ref (± hysteresis)`.
     pub fn decide(&mut self, v_sig: f64, v_ref: f64, rng: &mut DivotRng) -> bool {

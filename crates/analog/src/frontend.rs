@@ -75,6 +75,58 @@ impl FrontEndConfig {
     pub fn reference_levels(&self) -> Vec<f64> {
         self.vernier.levels(&self.modulation)
     }
+
+    /// The distinct PDM reference levels visited over `repetitions`
+    /// triggers, each paired with the number of triggers that use it.
+    ///
+    /// Levels that collide bitwise (the triangle wave visits some values on
+    /// both flanks) are merged, in deterministic first-seen Vernier order,
+    /// so the analytic acquisition path draws one binomial per *distinct*
+    /// level instead of one per phase. The counts always sum to
+    /// `repetitions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions` is not a positive multiple of the Vernier
+    /// period (partial sweeps would bias the level weighting — the same
+    /// precondition `Itdr::measure` enforces).
+    pub fn level_schedule(&self, repetitions: u32) -> Vec<(f64, u32)> {
+        let period = self.vernier.period();
+        assert!(
+            repetitions > 0 && u64::from(repetitions) % period == 0,
+            "repetitions ({repetitions}) must be a positive multiple of the \
+             Vernier period ({period})"
+        );
+        let sweeps = (u64::from(repetitions) / period) as u32;
+        let mut schedule: Vec<(f64, u32)> = Vec::new();
+        for r in 0..period {
+            let level = self.modulation.value_at_phase(self.vernier.phase(r));
+            match schedule.iter_mut().find(|(l, _)| l.to_bits() == level.to_bits()) {
+                Some((_, count)) => *count += sweeps,
+                None => schedule.push((level, sweeps)),
+            }
+        }
+        schedule
+    }
+
+    /// The effective comparator sigma for closed-form trip probabilities:
+    /// thermal noise plus the EMI aggressor folded in as an equivalent
+    /// Gaussian of variance `A²/2` (the variance of a tone sampled at a
+    /// uniformly random phase). Exact when no EMI is configured.
+    pub fn effective_sigma(&self) -> f64 {
+        let mut var = self.comparator.noise_sigma * self.comparator.noise_sigma;
+        if let Some(emi) = &self.emi {
+            var += 0.5 * emi.amplitude * emi.amplitude;
+        }
+        var.sqrt()
+    }
+
+    /// Whether the closed-form trip-probability model reproduces this
+    /// chain's trial statistics. Hysteresis couples successive decisions,
+    /// so any non-zero hysteresis disqualifies the analytic path.
+    pub fn supports_analytic(&self) -> bool {
+        self.comparator.hysteresis == 0.0
+    }
 }
 
 /// A live front-end instance bound to one bus channel.
@@ -164,6 +216,40 @@ impl FrontEnd {
     /// reconstruction model).
     pub fn noise_sigma(&self) -> f64 {
         self.comparator.noise_sigma()
+    }
+
+    /// This instance's drawn static comparator offset (volts).
+    pub fn comparator_offset(&self) -> f64 {
+        self.comparator.offset()
+    }
+
+    /// Whether the closed-form trip-probability model is statistically
+    /// faithful for this instance — see
+    /// [`FrontEndConfig::supports_analytic`].
+    pub fn supports_analytic(&self) -> bool {
+        self.comparator.hysteresis() == 0.0
+    }
+
+    /// Closed-form probability that one trigger at detector voltage
+    /// `detector` trips against PDM reference `level`:
+    /// `Φ((detector + offset − level)/σ_eff)` with the EMI aggressor folded
+    /// into the effective sigma ([`FrontEndConfig::effective_sigma`]).
+    ///
+    /// `detector` is the *coupler output* — callers apply
+    /// [`Coupler::detect`](crate::coupler::Coupler::detect) to the raw
+    /// waves first, exactly as [`observe`](Self::observe) does internally.
+    /// Only valid when [`supports_analytic`](Self::supports_analytic);
+    /// ties go low at zero sigma, matching the trial comparator.
+    pub fn trip_probability(&self, detector: f64, level: f64) -> f64 {
+        let sigma = self.config.effective_sigma();
+        let margin = detector + self.comparator.offset() - level;
+        if sigma > 0.0 {
+            divot_dsp::gaussian::std_cdf(margin / sigma)
+        } else if margin > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
     }
 
     /// Reset the trigger counter (start of a fresh measurement).
@@ -300,6 +386,102 @@ mod tests {
             b.begin_trigger();
             assert_eq!(a.observe(0.005, 0.0, 1e-9), b.observe(0.005, 0.0, 1e-9));
         }
+    }
+
+    #[test]
+    fn level_schedule_counts_sum_to_repetitions() {
+        let cfg = FrontEndConfig::default();
+        let period = cfg.vernier.period() as u32;
+        for sweeps in [1u32, 10] {
+            let reps = sweeps * period;
+            let schedule = cfg.level_schedule(reps);
+            let total: u32 = schedule.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, reps);
+            // Duplicated flank levels were merged: fewer distinct levels
+            // than phases, and no bitwise duplicates remain.
+            assert!(schedule.len() < period as usize);
+            for (i, (a, _)) in schedule.iter().enumerate() {
+                for (b, _) in &schedule[i + 1..] {
+                    assert_ne!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_schedule_matches_reference_level_multiset() {
+        let cfg = FrontEndConfig::default();
+        let period = cfg.vernier.period() as u32;
+        let schedule = cfg.level_schedule(3 * period);
+        let mut expanded: Vec<f64> = Vec::new();
+        for (level, count) in &schedule {
+            expanded.extend(std::iter::repeat_n(*level, (*count / 3) as usize));
+        }
+        let mut levels = cfg.reference_levels();
+        expanded.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        levels.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(expanded, levels);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the")]
+    fn level_schedule_rejects_partial_sweeps() {
+        FrontEndConfig::default().level_schedule(43);
+    }
+
+    #[test]
+    fn trip_probability_matches_trial_rate() {
+        // The closed-form model vs the simulated chain, quiet and with the
+        // EMI aggressor folded into the effective sigma.
+        for cfg in [FrontEndConfig::default(), FrontEndConfig::with_emi_aggressor()] {
+            let mut fe = FrontEnd::new(cfg, 11);
+            assert!(fe.supports_analytic());
+            let level = fe.begin_trigger();
+            let detector = level + 1.2e-3;
+            let n = 60_000;
+            let mut hits = 0;
+            for _ in 0..n {
+                // Hold the Vernier at a fixed phase by resetting each
+                // trigger; EMI phase still re-randomizes.
+                fe.reset_triggers();
+                fe.begin_trigger();
+                // Invert the coupler so the detector sees exactly `detector`.
+                let backward = detector / fe.config().coupler.backward_gain();
+                if fe.observe(backward, 0.0, 0.0) {
+                    hits += 1;
+                }
+            }
+            let trial = hits as f64 / n as f64;
+            let analytic = fe.trip_probability(detector, level);
+            assert!(
+                (trial - analytic).abs() < 0.015,
+                "emi={:?}: trial {trial} vs analytic {analytic}",
+                fe.config().emi.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_disables_analytic_support() {
+        let cfg = FrontEndConfig {
+            comparator: ComparatorConfig {
+                hysteresis: 1e-3,
+                ..ComparatorConfig::default()
+            },
+            ..FrontEndConfig::default()
+        };
+        assert!(!cfg.supports_analytic());
+        assert!(!FrontEnd::new(cfg, 1).supports_analytic());
+    }
+
+    #[test]
+    fn effective_sigma_folds_emi_variance() {
+        let quiet = FrontEndConfig::default();
+        let noisy = FrontEndConfig::with_emi_aggressor();
+        assert_eq!(quiet.effective_sigma(), quiet.comparator.noise_sigma);
+        let amp = noisy.emi.unwrap().amplitude;
+        let want = (quiet.comparator.noise_sigma.powi(2) + 0.5 * amp * amp).sqrt();
+        assert!((noisy.effective_sigma() - want).abs() < 1e-15);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Criterion benchmark: full iTDR measurements (the per-authentication
 //! cost), at the paper configuration and the fast test configuration.
+//!
+//! The `itdr/acq_paper_full` group pits the per-trial acquisition engine
+//! ([`AcqMode::Trial`]) against the closed-form + binomial fast path
+//! ([`AcqMode::Analytic`]) at the paper-scale 341-point × 420-repetition
+//! configuration, under both execution policies. The Analytic/Trial ratio
+//! is published as `metric:` lines and, when `CRITERION_JSON` is set (see
+//! `just bench-itdr`), into the `metrics` section of `BENCH_itdr.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use divot_analog::frontend::FrontEndConfig;
 use divot_core::channel::BusChannel;
 use divot_core::exec::ExecPolicy;
-use divot_core::itdr::{Itdr, ItdrConfig};
+use divot_core::itdr::{AcqMode, Itdr, ItdrConfig};
 use divot_txline::board::{Board, BoardConfig};
 use std::hint::black_box;
 
@@ -69,5 +76,58 @@ fn bench_enroll_paper(c: &mut Criterion) {
     println!("cache-stats: itdr/enroll_paper ... {}", ch.cache_stats());
 }
 
-criterion_group!(benches, bench_measure, bench_enroll, bench_enroll_paper);
+/// Trial vs Analytic at the paper-scale configuration (341 ETS points ×
+/// 420 repetitions — the acquisition grid of the paper's full-resolution
+/// instrument), each under both execution policies. The serial pair is the
+/// honest single-core comparison; the parallel pair shows the fast path
+/// keeps its lead when the per-point engine fans out.
+fn bench_acq_paper_full(c: &mut Criterion) {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 5);
+    let mut group = c.benchmark_group("itdr/acq_paper_full");
+    group.sample_size(10);
+    for (mode_name, mode) in [("trial", AcqMode::Trial), ("analytic", AcqMode::Analytic)] {
+        let itdr = Itdr::new(ItdrConfig::paper_full().with_acq_mode(mode));
+        let mut ch = BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), 5);
+        let _ = itdr.measure(&mut ch);
+        for (policy_name, policy) in [
+            ("serial", ExecPolicy::Serial),
+            ("parallel", ExecPolicy::Parallel),
+        ] {
+            group.bench_function(format!("{mode_name}_{policy_name}"), |b| {
+                b.iter(|| black_box(itdr.measure_with(&mut ch, policy)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Publish the Analytic-over-Trial speedup ratios (the acceptance numbers
+/// in `EXPERIMENTS.md`), computed from the medians of the benches above.
+fn record_speedups(c: &mut Criterion) {
+    for (metric, trial, analytic) in [
+        (
+            "speedup_acq_analytic_paper_full_serial",
+            "itdr/acq_paper_full/trial_serial",
+            "itdr/acq_paper_full/analytic_serial",
+        ),
+        (
+            "speedup_acq_analytic_paper_full_parallel",
+            "itdr/acq_paper_full/trial_parallel",
+            "itdr/acq_paper_full/analytic_parallel",
+        ),
+    ] {
+        if let (Some(t), Some(a)) = (c.median_ns(trial), c.median_ns(analytic)) {
+            c.record_metric(metric, t / a);
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_measure,
+    bench_enroll,
+    bench_enroll_paper,
+    bench_acq_paper_full,
+    record_speedups
+);
 criterion_main!(benches);

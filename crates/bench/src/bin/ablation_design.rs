@@ -17,7 +17,7 @@
 //! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
 
 use divot_analog::modulation::ModulationWave;
-use divot_bench::{banner, collect_scores_sampled, print_metric, Bench};
+use divot_bench::{banner, collect_scores_sampled, parse_cli_acq_mode, print_metric, Bench};
 use divot_core::ets::EtsSchedule;
 use divot_core::itdr::ItdrConfig;
 use divot_dsp::stats::Summary;
@@ -41,6 +41,8 @@ fn separation(bench: &Bench, n: usize) -> (f64, f64, f64) {
 
 fn main() {
     let n = measurements_budget();
+    let acq_mode = parse_cli_acq_mode();
+    print_metric("acq_mode", acq_mode.label());
 
     banner("ablation 1: PDM vs plain APC (fixed DC reference)");
     println!("frontend | genuine_mean | d_prime | eer_pct");
@@ -63,7 +65,7 @@ fn main() {
             },
         ),
     ] {
-        let mut bench = Bench::paper_prototype(2020);
+        let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
         bench.frontend.modulation = modulation;
         let (g, d, eer) = separation(&bench, n);
         println!("{name} | {g:.4} | {d:.2} | {eer:.4}");
@@ -77,11 +79,12 @@ fn main() {
     banner("ablation 2: ETS density vs repetitions at a fixed ~7.2k-trigger budget");
     println!("tau_steps | points | reps | genuine_mean | d_prime | eer_pct");
     for (tau_steps, reps) in [(1u32, 21u32), (2, 42), (4, 84), (8, 168)] {
-        let mut bench = Bench::paper_prototype(2020);
+        let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
         bench.itdr = ItdrConfig {
             ets: EtsSchedule::new(0.0, 3.8e-9, tau_steps as f64 * 11.16e-12),
             repetitions: reps,
             smoothing_half_width: (4 / tau_steps).max(1) as usize,
+            acq_mode,
         };
         let (g, d, eer) = separation(&bench, n);
         println!(
@@ -93,7 +96,7 @@ fn main() {
     banner("ablation 3: reconstruction smoothing (paper config otherwise)");
     println!("smoothing_half_width | genuine_mean | d_prime | eer_pct");
     for half in [0usize, 1, 2, 4, 8] {
-        let mut bench = Bench::paper_prototype(2020);
+        let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
         bench.itdr.smoothing_half_width = half;
         let (g, d, eer) = separation(&bench, n);
         println!("{half} | {g:.4} | {d:.2} | {eer:.4}");
@@ -130,7 +133,7 @@ fn main() {
     banner("ablation 5: Vernier period (PDM level granularity)");
     println!("vernier_den | levels | genuine_mean | d_prime | eer_pct");
     for (num, den, off) in [(2u64, 5u64, 10u64), (4, 11, 22), (8, 21, 42), (16, 43, 86)] {
-        let mut bench = Bench::paper_prototype(2020);
+        let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
         bench.frontend.vernier =
             divot_analog::modulation::VernierSchedule::new(num, den, 1, off);
         // Repetitions must stay a multiple of the Vernier period.

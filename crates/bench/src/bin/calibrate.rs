@@ -2,13 +2,14 @@
 //! similarity separation for the prototype bench, to ground the default
 //! analog/physical parameters. Not a paper figure — a lab notebook tool.
 
-use divot_bench::{banner, collect_scores, print_metric, Bench};
+use divot_bench::{banner, collect_scores, parse_cli_acq_mode, print_metric, Bench};
 use divot_core::itdr::ItdrConfig;
 use divot_dsp::stats::Summary;
 
 fn main() {
+    let acq_mode = parse_cli_acq_mode();
     let mut bench = Bench::paper_prototype(2024);
-    bench.itdr = ItdrConfig::paper();
+    bench.itdr = ItdrConfig::paper().with_acq_mode(acq_mode);
     // Optional overrides for sweep experiments:
     //   CAL_TAU_STEPS=2 CAL_REPS=42 CAL_SMOOTH=2 cargo run ... calibrate
     if let Ok(v) = std::env::var("CAL_TAU_STEPS") {
@@ -22,7 +23,8 @@ fn main() {
         bench.itdr.smoothing_half_width = v.parse().expect("CAL_SMOOTH must be an integer");
     }
     println!(
-        "itdr: points={} reps={} smooth={} triggers={} time_us={:.1}",
+        "itdr: acq_mode={} points={} reps={} smooth={} triggers={} time_us={:.1}",
+        acq_mode.label(),
         bench.itdr.ets.points(),
         bench.itdr.repetitions,
         bench.itdr.smoothing_half_width,

@@ -11,7 +11,7 @@
 //! harness-timing section — simulated results are identical either way).
 
 use divot_analog::linecode::LineCode;
-use divot_bench::{banner, parse_cli_policy, print_metric};
+use divot_bench::{banner, parse_cli_acq_mode, parse_cli_policy, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::timing::TimingModel;
 use divot_core::trigger::TriggerSource;
@@ -104,12 +104,14 @@ fn main() {
     );
 
     banner("harness acquisition wall clock (simulation, not bus time)");
-    let bench = divot_bench::Bench::paper_prototype(2020);
+    let acq_mode = parse_cli_acq_mode();
+    let bench = divot_bench::Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     let mut ch = bench.channel(0);
     let itdr = bench.itdr();
     let started = std::time::Instant::now();
     let _ = itdr.measure_averaged(&mut ch, 8);
     print_metric("exec_mode", policy.label());
+    print_metric("acq_mode", acq_mode.label());
     print_metric(
         "avg8_paper_measurement_wall_clock_s",
         format!("{:.3}", started.elapsed().as_secs_f64()),

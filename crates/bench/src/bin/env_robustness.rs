@@ -15,7 +15,9 @@
 //! are bitwise identical either way).
 
 use divot_analog::frontend::FrontEndConfig;
-use divot_bench::{banner, collect_scores_sampled, parse_cli_policy, print_metric, Bench};
+use divot_bench::{
+    banner, collect_scores_sampled, parse_cli_acq_mode, parse_cli_policy, print_metric, Bench,
+};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 use divot_txline::env::Environment;
@@ -36,6 +38,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2048);
     print_metric("exec_mode", policy.label());
+    let acq_mode = parse_cli_acq_mode();
+    print_metric("acq_mode", acq_mode.label());
 
     let conditions = [
         Condition {
@@ -73,7 +77,7 @@ fn main() {
     println!("condition | paper_eer_pct | measured_eer_pct | genuine_mean | genuine_sd");
     let mut measured = Vec::new();
     for cond in &conditions {
-        let mut bench = Bench::paper_prototype(2020);
+        let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
         bench.environment = cond.environment;
         bench.frontend = cond.frontend;
         let scores = collect_scores_sampled(

@@ -7,21 +7,29 @@
 //! with false positive rate below 0.0006 near the operating threshold.
 //!
 //! Run: `cargo run --release -p divot-bench --bin fig7_authentication`
-//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count;
-//! pass `--serial` to disable the parallel acquisition engine — results
-//! are bitwise identical either way).
+//! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count, or
+//! pass `--quick` for a small smoke-test batch; pass `--serial` to disable
+//! the parallel acquisition engine — results are bitwise identical either
+//! way; pass `--acq-mode <trial|analytic>` to choose the acquisition
+//! engine — the two modes are statistically equivalent but not bitwise
+//! identical, so the distributions and EER agree within sampling noise).
 
-use divot_bench::{banner, collect_scores_sampled, parse_cli_policy, print_histogram, print_metric, Bench};
+use divot_bench::{
+    banner, collect_scores_sampled, parse_cli_acq_mode, parse_cli_policy, print_histogram,
+    print_metric, Bench,
+};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 
 fn main() {
     let policy = parse_cli_policy();
+    let acq_mode = parse_cli_acq_mode();
+    let quick = std::env::args().any(|a| a == "--quick");
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(8192);
-    let bench = Bench::paper_prototype(2020);
+        .unwrap_or(if quick { 24 } else { 8192 });
+    let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
 
     banner("Fig 7 setup");
     print_metric("lines", bench.board.line_count());
@@ -29,6 +37,7 @@ fn main() {
     print_metric("itdr_points", bench.itdr.ets.points());
     print_metric("itdr_repetitions", bench.itdr.repetitions);
     print_metric("exec_mode", policy.label());
+    print_metric("acq_mode", acq_mode.label());
 
     let started = std::time::Instant::now();
     let all = bench.measure_all(measurements);

@@ -9,7 +9,9 @@
 //! Run: `cargo run --release -p divot-bench --bin fig8_temperature`
 //! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
 
-use divot_bench::{banner, collect_scores_sampled, print_histogram, print_metric, Bench};
+use divot_bench::{
+    banner, collect_scores_sampled, parse_cli_acq_mode, print_histogram, print_metric, Bench,
+};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 use divot_txline::env::Environment;
@@ -21,16 +23,18 @@ fn main() {
         .unwrap_or(2048);
     // Spread the batch over one full oven cycle (600 s).
     let gap = 600.0 / measurements as f64;
+    let acq_mode = parse_cli_acq_mode();
+    print_metric("acq_mode", acq_mode.label());
 
     banner("room-temperature reference");
-    let room = Bench::paper_prototype(2020);
+    let room = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     let room_scores = collect_scores_sampled(&room.measure_all(measurements), 4 * measurements, 7);
     let room_roc = RocCurve::from_scores(&room_scores.genuine, &room_scores.impostor);
     print_metric("room_genuine", Summary::of(&room_scores.genuine));
     print_metric("room_eer_percent", format!("{:.4}", room_roc.eer() * 100.0));
 
     banner("oven swing 23C -> 75C");
-    let mut oven = Bench::paper_prototype(2020);
+    let mut oven = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     oven.environment = Environment::oven_swing();
     let oven_scores = collect_scores_sampled(&oven.measure_all_spaced(measurements, gap), 4 * measurements, 7);
     let oven_roc = RocCurve::from_scores(&oven_scores.genuine, &oven_scores.impostor);
@@ -45,7 +49,7 @@ fn main() {
     banner("extension: time-base compensation (beyond the paper)");
     // Re-score a subsample of hot measurements against a room-temperature
     // fingerprint, with and without digital time-base compensation.
-    let mut bench = Bench::paper_prototype(2020);
+    let mut bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     bench.environment = Environment::room();
     let mut ch = bench.channel(0);
     let itdr = bench.itdr();

@@ -8,11 +8,15 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin fig9_wiretap`
 
-use divot_bench::{banner, print_metric, print_waveform, run_tamper_experiment, Bench};
+use divot_bench::{
+    banner, parse_cli_acq_mode, print_metric, print_waveform, run_tamper_experiment, Bench,
+};
 use divot_txline::attack::Attack;
 
 fn main() {
-    let bench = Bench::paper_prototype(2020);
+    let acq_mode = parse_cli_acq_mode();
+    let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
+    print_metric("acq_mode", acq_mode.label());
     let exp = run_tamper_experiment(&bench, &Attack::paper_wiretap(), 16);
 
     banner("Fig 9(e): IIP with and without wire-tap");

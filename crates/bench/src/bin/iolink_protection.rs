@@ -5,13 +5,14 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin iolink_protection`
 
-use divot_bench::{banner, print_metric};
+use divot_bench::{banner, parse_cli_acq_mode, print_metric};
 use divot_core::monitor::MonitorConfig;
 use divot_iolink::link::LinkConfig;
 use divot_iolink::sim::{LinkScenarioEvent, LinkSim, LinkSimConfig};
 use divot_txline::attack::Attack;
 
 fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
+    let defaults = LinkConfig::default();
     LinkSimConfig {
         link: LinkConfig {
             poll_every_frames,
@@ -20,7 +21,8 @@ fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
                 fails_to_alarm: 2,
                 ..MonitorConfig::default()
             },
-            ..LinkConfig::default()
+            itdr: defaults.itdr.with_acq_mode(parse_cli_acq_mode()),
+            ..defaults
         },
         frames: 2048,
         payload_len: 256,
@@ -29,6 +31,7 @@ fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
 }
 
 fn main() {
+    print_metric("acq_mode", parse_cli_acq_mode().label());
     banner("clean link throughput (2048 frames, 256 B payloads)");
     let clean = LinkSim::new(config(64, 5)).run();
     print_metric("delivered", format!("{}/{}", clean.delivered, clean.attempted));

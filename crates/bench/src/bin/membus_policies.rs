@@ -5,13 +5,15 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin membus_policies`
 
-use divot_bench::banner;
+use divot_bench::{banner, parse_cli_acq_mode};
 use divot_membus::scheduler::{ArbiterPolicy, PagePolicy};
 use divot_membus::sim::{SimConfig, Simulation};
 use divot_membus::workload::{AccessPattern, WorkloadConfig};
 
 fn main() {
+    let acq_mode = parse_cli_acq_mode();
     banner("policy sweep: throughput (req/kcycle) and mean latency (cycles)");
+    println!("acq_mode = {}", acq_mode.label());
     println!("workload | arbiter | page | protected_tput | protected_lat | baseline_tput | baseline_lat");
     for (wname, pattern) in [
         ("sequential", AccessPattern::Sequential { stride: 1 }),
@@ -33,6 +35,7 @@ fn main() {
                         ..SimConfig::default()
                     };
                     cfg.protection.enabled = enabled;
+                    cfg.protection.itdr = cfg.protection.itdr.with_acq_mode(acq_mode);
                     // Thread the policies into the controller through the
                     // protection layer's scheduler configuration.
                     cfg.scheduler.arbiter = arbiter;

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin membus_protection`
 
-use divot_bench::{banner, print_metric};
+use divot_bench::{banner, parse_cli_acq_mode, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::monitor::MonitorConfig;
 use divot_membus::protect::{ProtectionConfig, ScenarioEvent};
@@ -25,7 +25,7 @@ fn protection() -> ProtectionConfig {
             fails_to_alarm: 2,
             ..MonitorConfig::default()
         },
-        itdr: ItdrConfig::embedded(),
+        itdr: ItdrConfig::embedded().with_acq_mode(parse_cli_acq_mode()),
         poll_interval: 10_000,
         ..ProtectionConfig::default()
     }
@@ -33,6 +33,7 @@ fn protection() -> ProtectionConfig {
 
 fn main() {
     let cycles = 200_000;
+    print_metric("acq_mode", parse_cli_acq_mode().label());
 
     banner("overhead: protected vs unprotected (clean bus)");
     println!("workload | mode | throughput_per_kcycle | mean_latency | stalls | blocked");

@@ -7,11 +7,15 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin resource_utilization`
 
-use divot_bench::{banner, print_metric};
+use divot_bench::{banner, parse_cli_acq_mode, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::resources::{ResourceModel, XCZU7EV};
 
 fn main() {
+    // Parsed for CLI uniformity with the other binaries; the resource
+    // model reports synthesized hardware, which is identical either way
+    // (the analytic path is a simulation-speed device, not a circuit).
+    let _ = parse_cli_acq_mode();
     let model = ResourceModel::paper_prototype();
 
     banner("per-detector inventory (prototype)");

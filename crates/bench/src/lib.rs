@@ -10,7 +10,7 @@
 use divot_analog::frontend::FrontEndConfig;
 use divot_core::channel::BusChannel;
 use divot_core::exec::ExecPolicy;
-use divot_core::itdr::{Itdr, ItdrConfig};
+use divot_core::itdr::{AcqMode, Itdr, ItdrConfig};
 use divot_dsp::stats::Histogram;
 use divot_dsp::waveform::Waveform;
 use divot_txline::board::{Board, BoardConfig};
@@ -59,6 +59,12 @@ impl Bench {
     /// The instrument.
     pub fn itdr(&self) -> Itdr {
         Itdr::new(self.itdr)
+    }
+
+    /// The same bench with the instrument switched to `mode`.
+    pub fn with_acq_mode(mut self, mode: AcqMode) -> Self {
+        self.itdr = self.itdr.with_acq_mode(mode);
+        self
     }
 
     /// Measure `count` IIPs on each line (fanning lines across cores
@@ -111,6 +117,30 @@ pub fn parse_cli_policy() -> ExecPolicy {
         divot_core::exec::force_serial(true);
     }
     ExecPolicy::auto()
+}
+
+/// Handle the bench binaries' shared `--acq-mode <trial|analytic>` flag
+/// (`--acq-mode=<v>` also accepted). Returns [`AcqMode::Trial`] — the
+/// statistical reference path — when the flag is absent, and exits with a
+/// usage message on an unknown value so typos don't silently benchmark the
+/// wrong engine. Quote [`AcqMode::label`] in the output so runs are
+/// self-describing.
+pub fn parse_cli_acq_mode() -> AcqMode {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--acq-mode" {
+            args.next()
+        } else {
+            a.strip_prefix("--acq-mode=").map(str::to_owned)
+        };
+        if let Some(v) = value {
+            return v.parse().unwrap_or_else(|e: String| {
+                eprintln!("--acq-mode: {e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    AcqMode::Trial
 }
 
 /// Genuine and impostor similarity score sets.

@@ -1,0 +1,69 @@
+//! End-to-end equivalence of the two acquisition engines at the harness
+//! level: the figures the paper stands on must come out the same whether
+//! the instrument simulates every comparator trial ([`AcqMode::Trial`]) or
+//! draws trip counts from the closed-form binomial ([`AcqMode::Analytic`]).
+
+use divot_bench::{collect_scores_sampled, run_tamper_experiment, Bench};
+use divot_core::itdr::AcqMode;
+use divot_dsp::RocCurve;
+use divot_txline::attack::Attack;
+
+/// A small fig-7-style run: measure every line `n` times and compute the
+/// genuine/impostor ROC, as `fig7_authentication` does at scale.
+fn fig7_roc(mode: AcqMode, n: usize) -> RocCurve {
+    let bench = Bench::paper_prototype(2020).with_acq_mode(mode);
+    let scores = collect_scores_sampled(&bench.measure_all(n), 4 * n, 7);
+    RocCurve::from_scores(&scores.genuine, &scores.impostor)
+}
+
+#[test]
+fn fig7_eer_matches_across_modes() {
+    // At this batch size the paper bench separates cleanly: both modes
+    // must sit at (or within a fraction of a percent of) zero EER, and
+    // their AUCs must agree tightly. This is the figure-level statement of
+    // the per-point KS equivalence tested in divot-core.
+    let trial = fig7_roc(AcqMode::Trial, 48);
+    let analytic = fig7_roc(AcqMode::Analytic, 48);
+    assert!(
+        (trial.eer() - analytic.eer()).abs() < 0.005,
+        "EER diverged: trial {:.4} vs analytic {:.4}",
+        trial.eer(),
+        analytic.eer()
+    );
+    assert!(
+        (trial.auc() - analytic.auc()).abs() < 0.005,
+        "AUC diverged: trial {:.6} vs analytic {:.6}",
+        trial.auc(),
+        analytic.auc()
+    );
+    assert!(trial.eer() < 0.005 && analytic.eer() < 0.005);
+}
+
+#[test]
+fn tamper_onset_localization_matches_across_modes() {
+    // Fig-9-style wiretap: both engines must detect the tap, localize it
+    // to the same place on the line (within a few ETS samples of
+    // round-trip resolution), and stay quiet on the clean repeat.
+    let mut onsets = Vec::new();
+    for mode in [AcqMode::Trial, AcqMode::Analytic] {
+        let bench = Bench::paper_prototype(2020).with_acq_mode(mode);
+        let exp = run_tamper_experiment(&bench, &Attack::paper_wiretap(), 8);
+        assert!(!exp.clean_report.detected, "{mode:?}: false alarm");
+        assert!(exp.attack_report.detected, "{mode:?}: tap missed");
+        let onset = exp.attack_report.onset.expect("detected implies onset");
+        let location = exp.attack_report.location.expect("onset implies location");
+        onsets.push((onset.time, location.0));
+    }
+    let (t_trial, x_trial) = onsets[0];
+    let (t_analytic, x_analytic) = onsets[1];
+    // The ETS grid is 22.3 ps (paper config); allow a few samples of
+    // onset jitter, which maps to a few centimetres along the line.
+    assert!(
+        (t_trial - t_analytic).abs() < 0.1e-9,
+        "onset diverged: trial {t_trial:.3e} vs analytic {t_analytic:.3e}"
+    );
+    assert!(
+        (x_trial - x_analytic).abs() < 0.03,
+        "location diverged: trial {x_trial:.4} m vs analytic {x_analytic:.4} m"
+    );
+}

@@ -86,6 +86,20 @@ impl TripCounter {
         }
     }
 
+    /// Record a whole batch of decisions at once: `trips` ones out of
+    /// `total` triggers. The analytic acquisition path lands one binomial
+    /// draw per PDM reference level through this instead of `total`
+    /// individual [`record`](Self::record) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trips > total`.
+    pub fn record_many(&mut self, trips: u32, total: u32) {
+        assert!(trips <= total, "cannot trip {trips} of {total} triggers");
+        self.total += total;
+        self.count += trips;
+    }
+
     /// Number of 1s.
     pub fn count(&self) -> u32 {
         self.count

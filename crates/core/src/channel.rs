@@ -83,7 +83,7 @@ pub struct BusChannel {
     now: f64,
     trigger_period: f64,
     response_cache: ResponseCache,
-    table_cache: HashMap<u32, ReconstructionTable>,
+    table_cache: HashMap<u32, Arc<ReconstructionTable>>,
     seed: u64,
     measurements_taken: u64,
 }
@@ -185,11 +185,14 @@ impl BusChannel {
 
     /// The count→voltage reconstruction table for `repetitions` triggers
     /// per point, built from this channel's front-end model and cached.
-    pub fn reconstruction_table(&mut self, repetitions: u32) -> &ReconstructionTable {
+    ///
+    /// Returned as a shared handle so callers (one per `measure_many`
+    /// batch) hold the cached ROM without copying it.
+    pub fn reconstruction_table(&mut self, repetitions: u32) -> Arc<ReconstructionTable> {
         let cfg = *self.frontend.config();
-        self.table_cache
-            .entry(repetitions)
-            .or_insert_with(|| ReconstructionTable::build(&effective_cdf(&cfg), repetitions))
+        Arc::clone(self.table_cache.entry(repetitions).or_insert_with(|| {
+            Arc::new(ReconstructionTable::build(&effective_cdf(&cfg), repetitions))
+        }))
     }
 
     /// The cached back-reflection response for the current instant,
@@ -338,12 +341,14 @@ mod tests {
     }
 
     #[test]
-    fn reconstruction_table_is_cached() {
+    fn reconstruction_table_is_cached_and_shared() {
         let mut ch = channel();
-        let a = ch.reconstruction_table(21) as *const _;
-        let b = ch.reconstruction_table(21) as *const _;
-        assert_eq!(a, b);
-        assert_eq!(ch.reconstruction_table(21).repetitions(), 21);
+        let a = ch.reconstruction_table(21);
+        let b = ch.reconstruction_table(21);
+        assert!(Arc::ptr_eq(&a, &b), "same repetition count shares one ROM");
+        assert_eq!(a.repetitions(), 21);
+        let other = ch.reconstruction_table(42);
+        assert!(!Arc::ptr_eq(&a, &other));
     }
 
     #[test]

@@ -38,6 +38,12 @@ struct Lane {
 }
 
 /// A multi-lane DIVOT deployment sharing one instrument datapath.
+///
+/// The shared [`Itdr`] configuration carries its acquisition mode
+/// ([`AcqMode`](crate::itdr::AcqMode)) to every lane: a hub built around an
+/// analytic-mode instrument calibrates, polls, and fuse-verifies all lanes
+/// through the closed-form fast path (falling back per the usual
+/// hysteresis guard), with no per-lane plumbing.
 #[derive(Debug, Clone)]
 pub struct DivotHub {
     itdr: Itdr,
@@ -324,6 +330,41 @@ mod tests {
             ch.replace_network(clone.line(i).network());
         }
         assert!(!hub.fused_verify(&mut channels).is_accept());
+    }
+
+    #[test]
+    fn analytic_hub_calibrates_polls_and_verifies() {
+        use crate::itdr::AcqMode;
+        let board = Board::fabricate(&BoardConfig::paper_prototype(), 71);
+        let mut hub = DivotHub::new(
+            Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic)),
+            MonitorConfig {
+                enroll_count: 4,
+                average_count: 2,
+                fails_to_alarm: 1,
+                ..MonitorConfig::default()
+            },
+        );
+        let mut channels = Vec::new();
+        for i in 0..3 {
+            hub.add_lane(format!("lane{i}"));
+            channels.push(BusChannel::new(
+                board.line(i).clone(),
+                FrontEndConfig::default(),
+                300 + i as u64,
+            ));
+        }
+        hub.calibrate_all(&mut channels);
+        assert!(!hub.any_blocking());
+        assert!(hub.fused_verify(&mut channels).is_accept());
+        channels[2].apply_attack(&Attack::paper_wiretap());
+        for _ in 0..4 {
+            hub.poll_all(&mut channels);
+            if hub.any_blocking() {
+                break;
+            }
+        }
+        assert_eq!(hub.blocking_lanes(), vec![LaneId(2)]);
     }
 
     #[test]

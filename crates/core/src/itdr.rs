@@ -5,8 +5,11 @@
 //!
 //! 1. **ETS** walks the equivalent-time sample points across the
 //!    observation window (PLL phase stepping);
-//! 2. at each point, **APC** counts comparator 1s over `R` probe triggers
-//!    while **PDM** cycles the reference through the Vernier levels;
+//! 2. at each point, **APC** produces a trip count over `R` probe
+//!    triggers while **PDM** cycles the reference through the Vernier
+//!    levels — either by simulating every comparator trial
+//!    ([`AcqMode::Trial`]) or by drawing the count from its closed-form
+//!    binomial law per reference level ([`AcqMode::Analytic`]);
 //! 3. counts are turned back into voltages through the reconstruction ROM;
 //! 4. a light smoothing pass (a short FIR in hardware) yields the IIP
 //!    waveform.
@@ -20,6 +23,7 @@ use crate::ets::EtsSchedule;
 use crate::exec::ExecPolicy;
 use crate::fingerprint::Fingerprint;
 use divot_dsp::filter::moving_average;
+use divot_dsp::quadrature::GaussHermite;
 use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_dsp::waveform::Waveform;
 use divot_txline::units::Seconds;
@@ -27,6 +31,63 @@ use serde::{Deserialize, Serialize};
 
 /// Domain tag for the per-point jitter RNG streams.
 const JITTER_DOMAIN: u64 = 0x4A17_0000;
+
+/// Domain tag for the per-point analytic binomial RNG streams (disjoint
+/// from [`JITTER_DOMAIN`] so the two modes never share draws).
+const ANALYTIC_DOMAIN: u64 = 0xA7A1_0000;
+
+/// Gauss–Hermite order used to fold PLL trigger jitter into the analytic
+/// trip probabilities. Nine nodes integrate polynomials to degree 17
+/// exactly — far beyond what a response that is smooth on the ~1.5 ps
+/// jitter scale needs — while keeping the per-level cost at nine CDF
+/// evaluations.
+const JITTER_QUAD_ORDER: usize = 9;
+
+/// Saturation guard in units of the effective sigma: reference levels
+/// farther than this from every jittered detector value get probability
+/// 0 or 1 directly (`Φ(±8)` differs from {0, 1} by `< 7e-16`, below one
+/// count in any feasible repetition budget).
+const SATURATION_SIGMAS: f64 = 8.0;
+
+/// How the APC obtains each (ETS point, reference level) trip count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcqMode {
+    /// Simulate every comparator trial individually (the statistical
+    /// reference — exactly the hardware's acquisition sequence).
+    #[default]
+    Trial,
+    /// Compute each level's trip probability in closed form (comparator
+    /// CDF × Gauss–Hermite jitter quadrature, EMI folded into an
+    /// effective sigma) and draw the count from the exact binomial law.
+    /// Falls back to [`Trial`](Self::Trial) when the front end's
+    /// comparator has hysteresis, which makes trials dependent.
+    Analytic,
+}
+
+impl AcqMode {
+    /// A short human-readable label (`"trial"` / `"analytic"`) for bench
+    /// output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AcqMode::Trial => "trial",
+            AcqMode::Analytic => "analytic",
+        }
+    }
+}
+
+impl std::str::FromStr for AcqMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "trial" => Ok(AcqMode::Trial),
+            "analytic" => Ok(AcqMode::Analytic),
+            other => Err(format!(
+                "unknown acquisition mode {other:?} (expected \"trial\" or \"analytic\")"
+            )),
+        }
+    }
+}
 
 /// Configuration of one iTDR instrument.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +101,11 @@ pub struct ItdrConfig {
     /// Half-width of the post-reconstruction moving-average smoother
     /// (0 disables smoothing).
     pub smoothing_half_width: usize,
+    /// How trip counts are acquired (per-trial simulation or closed-form
+    /// probabilities + binomial draws). Defaults to [`AcqMode::Trial`];
+    /// absent in serialized configs from before the field existed.
+    #[serde(default)]
+    pub acq_mode: AcqMode,
 }
 
 impl ItdrConfig {
@@ -54,6 +120,7 @@ impl ItdrConfig {
             ets: EtsSchedule::new(0.0, 3.8e-9, 2.0 * 11.16e-12),
             repetitions: 42,
             smoothing_half_width: 2,
+            acq_mode: AcqMode::Trial,
         }
     }
 
@@ -87,9 +154,30 @@ impl ItdrConfig {
         }
     }
 
+    /// The paper's full-density acquisition: every PLL phase step across
+    /// the 0–3.8 ns window (11.16 ps grid, 341 points) at 420 triggers per
+    /// point — the ~143k-trial sweep the analytic fast path is benchmarked
+    /// against.
+    pub fn paper_full() -> Self {
+        Self {
+            ets: EtsSchedule::new(0.0, 3.8e-9, 11.16e-12),
+            repetitions: 420,
+            ..Self::paper()
+        }
+    }
+
     /// Total probe triggers one measurement consumes.
+    ///
+    /// This is *modeled hardware time* and is mode-independent: the
+    /// analytic path changes how the simulator computes counts, not how
+    /// many triggers the instrument would spend on the bus.
     pub fn total_triggers(&self) -> u64 {
         self.ets.points() as u64 * self.repetitions as u64
+    }
+
+    /// The same configuration with a different acquisition mode.
+    pub fn with_acq_mode(self, acq_mode: AcqMode) -> Self {
+        Self { acq_mode, ..self }
     }
 }
 
@@ -137,6 +225,67 @@ impl Itdr {
         table.voltage(counter.count())
     }
 
+    /// Acquire one ETS point analytically: one closed-form trip
+    /// probability per distinct PDM reference level, one exact binomial
+    /// draw per level, reconstructed through the same ROM table.
+    ///
+    /// Per level, the trip probability of a single trigger is the
+    /// comparator CDF averaged over the PLL's sampling-instant jitter
+    /// (`schedule`/`quad` are deterministic precomputations shared by all
+    /// points); the count over the level's triggers is then exactly
+    /// `Binomial(n_level, p_level)` because trials are independent once
+    /// hysteresis is ruled out. Like [`point_voltage`](Self::point_voltage)
+    /// this is a pure function of `(ctx, n)` — the binomial stream derives
+    /// from `(ctx.seed, ANALYTIC_DOMAIN, n)` — so serial and parallel
+    /// schedules stay bitwise identical.
+    fn point_voltage_analytic(
+        &self,
+        ctx: &MeasurementContext,
+        table: &ReconstructionTable,
+        schedule: &[(f64, u32)],
+        quad: &GaussHermite,
+        n: usize,
+    ) -> f64 {
+        debug_assert_eq!(quad.order(), JITTER_QUAD_ORDER);
+        let mut rng = DivotRng::derive(ctx.seed, ANALYTIC_DOMAIN ^ n as u64);
+        let t_nominal = self.config.ets.time_of(n);
+        let coupler = ctx.frontend.config().coupler;
+        let mut detectors = [0.0f64; JITTER_QUAD_ORDER];
+        for (d, t) in detectors
+            .iter_mut()
+            .zip(quad.abscissas(t_nominal, ctx.jitter_rms))
+        {
+            *d = coupler.detect(ctx.response.sample_at(t), ctx.forward.at(t));
+        }
+        let offset = ctx.frontend.comparator_offset();
+        let sigma = ctx.frontend.config().effective_sigma();
+        let (lo, hi) = detectors
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
+        let guard = SATURATION_SIGMAS * sigma;
+        let mut counter = TripCounter::new();
+        for &(level, count) in schedule {
+            let p = if sigma > 0.0 && level - (hi + offset) >= guard {
+                0.0
+            } else if sigma > 0.0 && (lo + offset) - level >= guard {
+                1.0
+            } else {
+                // Weighted quadrature sum; clamp the last few ULPs of
+                // round-off so the binomial's domain check never trips.
+                detectors
+                    .iter()
+                    .zip(quad.weights())
+                    .map(|(&d, &w)| w * ctx.frontend.trip_probability(d, level))
+                    .sum::<f64>()
+                    .clamp(0.0, 1.0)
+            };
+            counter.record_many(rng.binomial(u64::from(count), p) as u32, count);
+        }
+        table.voltage(counter.count())
+    }
+
     /// Run `count` consecutive measurements and return each reconstructed
     /// (and smoothed) IIP separately.
     ///
@@ -157,7 +306,20 @@ impl Itdr {
              period ({period})",
             self.config.repetitions
         );
-        let table = channel.reconstruction_table(self.config.repetitions).clone();
+        let table = channel.reconstruction_table(self.config.repetitions);
+        // The analytic plan (distinct-level schedule + jitter quadrature
+        // rule) is a deterministic function of the configuration, computed
+        // once and shared read-only by every point kernel. A hysteretic
+        // comparator couples successive trials, so it silently falls back
+        // to per-trial simulation.
+        let analytic_plan = (self.config.acq_mode == AcqMode::Analytic
+            && channel.frontend_config().supports_analytic())
+        .then(|| {
+            (
+                channel.frontend_config().level_schedule(self.config.repetitions),
+                GaussHermite::new(JITTER_QUAD_ORDER),
+            )
+        });
         let dwell = Seconds(self.config.total_triggers() as f64 * channel.trigger_period());
         let contexts: Vec<MeasurementContext> = (0..count)
             .map(|_| {
@@ -169,7 +331,13 @@ impl Itdr {
         let ets = self.config.ets;
         let n_points = ets.points();
         let volts = policy.run_indexed(count * n_points, |idx| {
-            self.point_voltage(&contexts[idx / n_points], &table, idx % n_points)
+            let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
+            match &analytic_plan {
+                Some((schedule, quad)) => {
+                    self.point_voltage_analytic(ctx, &table, schedule, quad, n)
+                }
+                None => self.point_voltage(ctx, &table, n),
+            }
         });
         volts
             .chunks(n_points)
@@ -409,6 +577,95 @@ mod tests {
         for (a, b) in s.samples().iter().zip(p.samples()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn analytic_mode_tracks_trial_mode() {
+        // Both modes estimate the same underlying detector waveform; with
+        // averaging, the two estimates must agree far inside the
+        // measurement's own noise floor.
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut trial_ch = channel_for_line(&board, 0, 5);
+        let mut analytic_ch = channel_for_line(&board, 0, 5);
+        let trial = Itdr::new(ItdrConfig::fast());
+        let analytic = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        let a = trial.measure_averaged(&mut trial_ch, 8);
+        let b = analytic.measure_averaged(&mut analytic_ch, 8);
+        let s = similarity(&a, &b);
+        assert!(s > 0.9, "modes must agree on the waveform: {s}");
+    }
+
+    #[test]
+    fn analytic_serial_parallel_bitwise_identical() {
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut serial_ch = channel_for_line(&board, 0, 9);
+        let mut parallel_ch = channel_for_line(&board, 0, 9);
+        let itdr = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        let s = itdr.measure_averaged_with(&mut serial_ch, 3, ExecPolicy::Serial);
+        let p = itdr.measure_averaged_with(&mut parallel_ch, 3, ExecPolicy::Parallel);
+        for (a, b) in s.samples().iter().zip(p.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn analytic_is_reproducible_and_differs_from_trial_draws() {
+        // Same channel state twice: identical waveform. And the analytic
+        // RNG domain is disjoint from the trial one, so the two modes give
+        // different (but statistically equivalent) noise realizations.
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let mut a_ch = channel_for_line(&board, 0, 13);
+        let mut b_ch = channel_for_line(&board, 0, 13);
+        let analytic = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        assert_eq!(analytic.measure(&mut a_ch), analytic.measure(&mut b_ch));
+        let mut t_ch = channel_for_line(&board, 0, 13);
+        let trial = Itdr::new(ItdrConfig::fast());
+        let mut fresh = channel_for_line(&board, 0, 13);
+        assert_ne!(trial.measure(&mut t_ch), analytic.measure(&mut fresh));
+    }
+
+    #[test]
+    fn hysteresis_falls_back_to_trial_bitwise() {
+        use divot_analog::comparator::ComparatorConfig;
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let fe = FrontEndConfig {
+            comparator: ComparatorConfig {
+                hysteresis: 5e-4,
+                ..ComparatorConfig::default()
+            },
+            ..FrontEndConfig::default()
+        };
+        assert!(!fe.supports_analytic());
+        let mut trial_ch = BusChannel::new(board.line(0).clone(), fe, 7);
+        let mut analytic_ch = BusChannel::new(board.line(0).clone(), fe, 7);
+        let trial = Itdr::new(ItdrConfig::fast());
+        let analytic = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        let a = trial.measure(&mut trial_ch);
+        let b = analytic.measure(&mut analytic_ch);
+        for (x, y) in a.samples().iter().zip(b.samples()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fallback must be the trial path");
+        }
+    }
+
+    #[test]
+    fn acq_mode_labels_and_parsing() {
+        assert_eq!(AcqMode::Trial.label(), "trial");
+        assert_eq!(AcqMode::Analytic.label(), "analytic");
+        assert_eq!("trial".parse::<AcqMode>().unwrap(), AcqMode::Trial);
+        assert_eq!("analytic".parse::<AcqMode>().unwrap(), AcqMode::Analytic);
+        assert!("btpe".parse::<AcqMode>().is_err());
+        assert_eq!(AcqMode::default(), AcqMode::Trial);
+        let cfg = ItdrConfig::fast().with_acq_mode(AcqMode::Analytic);
+        assert_eq!(cfg.acq_mode, AcqMode::Analytic);
+        assert_eq!(cfg.ets, ItdrConfig::fast().ets);
+    }
+
+    #[test]
+    fn paper_full_config_is_341_by_420() {
+        let cfg = ItdrConfig::paper_full();
+        assert_eq!(cfg.ets.points(), 341);
+        assert_eq!(cfg.repetitions, 420);
+        assert_eq!(cfg.total_triggers(), 341 * 420);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Statistical equivalence of the two acquisition modes.
+//!
+//! [`AcqMode::Analytic`] replaces per-trial comparator simulation with
+//! closed-form trip probabilities plus exact binomial draws. The modes use
+//! disjoint RNG domains, so individual measurements differ bit-for-bit —
+//! but they must be draws from the *same distribution*: same per-point
+//! means, same noise scale, indistinguishable per-point voltage samples
+//! under a two-sample Kolmogorov–Smirnov test. These tests pin that down
+//! on the measurement waveforms the rest of the stack consumes.
+
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::channel::BusChannel;
+use divot_core::itdr::{AcqMode, Itdr, ItdrConfig};
+use divot_dsp::stats::{mean, std_dev};
+use divot_dsp::waveform::Waveform;
+use divot_txline::board::{Board, BoardConfig};
+
+fn channel(seed: u64) -> BusChannel {
+    let board = Board::fabricate(&BoardConfig::paper_prototype(), 77);
+    BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), seed)
+}
+
+/// `count` consecutive single measurements in the given mode.
+fn sample_measurements(mode: AcqMode, count: usize, seed: u64) -> Vec<Waveform> {
+    let itdr = Itdr::new(ItdrConfig::fast().with_acq_mode(mode));
+    let mut ch = channel(seed);
+    (0..count).map(|_| itdr.measure(&mut ch)).collect()
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `D = sup |F_a − F_b|`.
+fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    xb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+    while i < xa.len() && j < xb.len() {
+        // Advance past every copy of the smaller value in *both* samples
+        // before comparing CDFs — quantized voltages tie often, and
+        // evaluating mid-tie would inflate D spuriously.
+        let x = xa[i].min(xb[j]);
+        while i < xa.len() && xa[i] <= x {
+            i += 1;
+        }
+        while j < xb.len() && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / xa.len() as f64;
+        let fb = j as f64 / xb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+#[test]
+fn per_point_means_agree_within_the_noise_of_the_mean() {
+    // 24 measurements per mode; the two per-point sample means must agree
+    // within a few standard errors at every ETS point.
+    let n = 24;
+    let trial = sample_measurements(AcqMode::Trial, n, 11);
+    let analytic = sample_measurements(AcqMode::Analytic, n, 11);
+    let points = trial[0].len();
+    let mut worst = 0.0f64;
+    for k in 0..points {
+        let at: Vec<f64> = trial.iter().map(|w| w.samples()[k]).collect();
+        let aa: Vec<f64> = analytic.iter().map(|w| w.samples()[k]).collect();
+        // Standard error of the difference of two independent means.
+        let sem = ((std_dev(&at).powi(2) + std_dev(&aa).powi(2)) / n as f64).sqrt();
+        let z = (mean(&at) - mean(&aa)).abs() / sem.max(1e-12);
+        worst = worst.max(z);
+        assert!(z < 6.0, "point {k}: means differ by {z:.1} standard errors");
+    }
+    // And the bulk of points must be unremarkable, not just under the cap.
+    assert!(worst > 0.0);
+}
+
+#[test]
+fn per_point_noise_scale_agrees() {
+    // The analytic path must not be artificially quiet (it draws real
+    // binomial noise) nor noisy: per-point standard deviations match
+    // within a factor accounted for by their own sampling error.
+    let n = 24;
+    let trial = sample_measurements(AcqMode::Trial, n, 23);
+    let analytic = sample_measurements(AcqMode::Analytic, n, 23);
+    let points = trial[0].len();
+    let mut ratios = Vec::with_capacity(points);
+    for k in 0..points {
+        let st = std_dev(&trial.iter().map(|w| w.samples()[k]).collect::<Vec<_>>());
+        let sa = std_dev(&analytic.iter().map(|w| w.samples()[k]).collect::<Vec<_>>());
+        if st > 1e-9 && sa > 1e-9 {
+            ratios.push(sa / st);
+        }
+    }
+    let m = mean(&ratios);
+    assert!(
+        (0.75..1.33).contains(&m),
+        "noise-scale ratio analytic/trial = {m:.3}"
+    );
+}
+
+#[test]
+fn per_point_voltage_distributions_pass_ks() {
+    // Two-sample KS at ETS points spread across the window. At n = 32 per
+    // side the α = 0.01 critical value is 1.63·√(2/n) ≈ 0.41; with several
+    // points tested, use it as a per-point cap.
+    let n = 32;
+    let trial = sample_measurements(AcqMode::Trial, n, 37);
+    let analytic = sample_measurements(AcqMode::Analytic, n, 37);
+    let points = trial[0].len();
+    let crit = 1.63 * (2.0 / n as f64).sqrt();
+    for k in [0, points / 4, points / 2, 3 * points / 4, points - 1] {
+        let at: Vec<f64> = trial.iter().map(|w| w.samples()[k]).collect();
+        let aa: Vec<f64> = analytic.iter().map(|w| w.samples()[k]).collect();
+        let d = ks_statistic(&at, &aa);
+        assert!(d < crit, "point {k}: KS D = {d:.3} ≥ {crit:.3}");
+    }
+}
+
+#[test]
+fn ks_statistic_sanity() {
+    // The helper itself: identical samples → 0; disjoint supports → 1.
+    let a = [1.0, 2.0, 3.0, 4.0];
+    let b = [10.0, 11.0, 12.0, 13.0];
+    assert_eq!(ks_statistic(&a, &a), 0.0);
+    assert_eq!(ks_statistic(&a, &b), 1.0);
+}
+
+#[test]
+fn averaged_waveforms_converge_to_the_same_signal() {
+    // 16× averaging shrinks both modes' noise; the remaining gap between
+    // the two averaged waveforms must be well below the single-shot noise.
+    let itdr_t = Itdr::new(ItdrConfig::fast());
+    let itdr_a = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+    let t = itdr_t.measure_averaged(&mut channel(41), 16);
+    let a = itdr_a.measure_averaged(&mut channel(41), 16);
+    let single = itdr_t.measure(&mut channel(42));
+    let mut gap = t.clone();
+    gap.try_sub(&a).unwrap();
+    let mut noise = single.clone();
+    noise.try_sub(&t).unwrap();
+    assert!(
+        gap.energy() < 0.3 * noise.energy(),
+        "averaged-mode gap energy {:.3e} vs single-shot noise energy {:.3e}",
+        gap.energy(),
+        noise.energy()
+    );
+    assert!(divot_dsp::similarity::similarity(&t, &a) > 0.95);
+}

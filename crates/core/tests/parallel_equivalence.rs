@@ -69,6 +69,19 @@ fn dynamic_environment_is_bitwise_identical() {
 }
 
 #[test]
+fn analytic_mode_enrollment_is_bitwise_identical() {
+    // The analytic fast path derives its binomial streams from
+    // `(ctx.seed, point)` exactly like the trial path derives its noise
+    // streams, so scheduling must stay observationally irrelevant there
+    // too — including at the paper configuration.
+    use divot_core::itdr::AcqMode;
+    let itdr = Itdr::new(ItdrConfig::paper().with_acq_mode(AcqMode::Analytic));
+    let s = itdr.enroll_with(&mut channel(8), 2, ExecPolicy::Serial);
+    let p = itdr.enroll_with(&mut channel(8), 2, ExecPolicy::Parallel);
+    assert_bitwise_eq(s.iip(), p.iip());
+}
+
+#[test]
 fn policies_leave_identical_channel_state() {
     let itdr = Itdr::new(ItdrConfig::fast());
     let mut cs = channel(7);

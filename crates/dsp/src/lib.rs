@@ -12,8 +12,13 @@
 //!   density modulation (PDM): the closed-form Gaussian–uniform mixture CDF
 //!   and discrete reference-level mixtures, both invertible.
 //! * [`rng`] — deterministic seeded randomness: a polar Box–Muller normal
-//!   sampler and an Ornstein–Uhlenbeck process used to synthesize spatially
-//!   correlated manufacturing variation (the IIP itself).
+//!   sampler, an exact binomial sampler (inverse-CDF / transformed
+//!   rejection) backing the analytic acquisition fast path, and an
+//!   Ornstein–Uhlenbeck process used to synthesize spatially correlated
+//!   manufacturing variation (the IIP itself).
+//! * [`quadrature`] — fixed-node Gauss–Hermite rules for Gaussian
+//!   expectations; folds PLL trigger jitter into closed-form trip
+//!   probabilities without Monte-Carlo draws.
 //! * [`par`] — order-preserving parallel map helpers on scoped threads;
 //!   the scheduling substrate for the acquisition fan-out in `divot-core`
 //!   (bitwise identical to the serial loop for per-index-seeded work).
@@ -47,6 +52,7 @@ pub mod fft;
 pub mod filter;
 pub mod gaussian;
 pub mod par;
+pub mod quadrature;
 pub mod roc;
 pub mod rng;
 pub mod similarity;

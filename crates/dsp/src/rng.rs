@@ -125,6 +125,133 @@ impl DivotRng {
             *v = self.normal(0.0, sigma);
         }
     }
+
+    /// Exact `Binomial(n, p)` sample — the number of successes in `n`
+    /// independent trials of probability `p`.
+    ///
+    /// This is what lets the analytic acquisition path replace `n`
+    /// comparator-trial simulations with a single draw: inverse-CDF
+    /// search for small means, a BTPE-style squeeze/rejection sampler
+    /// (Hörmann's transformed rejection) for large ones. Both branches
+    /// are exact — the output distribution is the true binomial, not an
+    /// approximation — and consume only this generator's stream, so the
+    /// draw is reproducible from the seed.
+    ///
+    /// Degenerate probabilities (`p == 0`, `p == 1`) return without
+    /// consuming any randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Work on q = min(p, 1−p) and mirror the result back.
+        let (q, flipped) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+        let k = if n as f64 * q < BINOMIAL_INV_THRESHOLD {
+            self.binomial_inverse(n, q)
+        } else {
+            self.binomial_btpe(n, q)
+        };
+        if flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+
+    /// Inverse-CDF search: walk the pmf recurrence
+    /// `P(k+1) = P(k)·(n−k)/(k+1)·q/(1−q)` until the cumulative mass
+    /// passes a uniform draw. Exact; O(n·q) expected steps. Requires
+    /// `q ≤ 0.5` and a small mean so `(1−q)^n` stays well above the
+    /// underflow floor.
+    fn binomial_inverse(&mut self, n: u64, q: f64) -> u64 {
+        let s = q / (1.0 - q);
+        let mut pmf = ((n as f64) * (1.0 - q).ln()).exp();
+        let mut cdf = pmf;
+        let u = self.uniform();
+        let mut k = 0u64;
+        while cdf < u && k < n {
+            pmf *= s * (n - k) as f64 / (k + 1) as f64;
+            cdf += pmf;
+            k += 1;
+        }
+        k
+    }
+
+    /// Transformed-rejection binomial sampler (Hörmann 1993, the BTRS
+    /// variant of the BTPE squeeze family). Exact for `n·q ≥ 10`,
+    /// `q ≤ 0.5`; expected a small constant number of `(u, v)` pairs per
+    /// draw regardless of `n`.
+    fn binomial_btpe(&mut self, n: u64, q: f64) -> u64 {
+        let nf = n as f64;
+        let stddev = (nf * q * (1.0 - q)).sqrt();
+        let b = 1.15 + 2.53 * stddev;
+        let a = -0.0873 + 0.0248 * b + 0.01 * q;
+        let c = nf * q + 0.5;
+        let v_r = 0.92 - 4.2 / b;
+        let r = q / (1.0 - q);
+        let alpha = (2.83 + 5.1 / b) * stddev;
+        let m = ((nf + 1.0) * q).floor();
+        loop {
+            let u = self.uniform() - 0.5;
+            let v = self.uniform();
+            let us = 0.5 - u.abs();
+            let kf = ((2.0 * a / us + b) * u + c).floor();
+            if kf < 0.0 || kf > nf {
+                continue;
+            }
+            // Squeeze: accept the bulk without evaluating the pmf.
+            if us >= 0.07 && v <= v_r {
+                return kf as u64;
+            }
+            // Exact acceptance test against the log-pmf ratio to the mode.
+            let vt = (v * alpha / (a / (us * us) + b)).ln();
+            let upper = (m + 0.5) * ((m + 1.0) / (r * (nf - m + 1.0))).ln()
+                + (nf + 1.0) * ((nf - m + 1.0) / (nf - kf + 1.0)).ln()
+                + (kf + 0.5) * (r * (nf - kf + 1.0) / (kf + 1.0)).ln()
+                + stirling_tail(m)
+                + stirling_tail(nf - m)
+                - stirling_tail(kf)
+                - stirling_tail(nf - kf);
+            if vt <= upper {
+                return kf as u64;
+            }
+        }
+    }
+}
+
+/// Mean threshold below which [`DivotRng::binomial`] uses inverse-CDF
+/// search instead of the rejection sampler.
+const BINOMIAL_INV_THRESHOLD: f64 = 10.0;
+
+/// The Stirling-series tail `ln(k!) − [k·ln k − k + ½·ln(2πk)]`, tabulated
+/// exactly for small `k` (where the series is weakest) and by the
+/// three-term series elsewhere — the correction the rejection sampler's
+/// acceptance bound needs.
+fn stirling_tail(k: f64) -> f64 {
+    const TABLE: [f64; 10] = [
+        0.081_061_466_795_327_81,
+        0.041_340_695_955_409_46,
+        0.027_677_925_684_998_34,
+        0.020_790_672_103_765_09,
+        0.016_644_691_189_821_19,
+        0.013_876_128_823_070_747,
+        0.011_896_709_945_891_8,
+        0.010_411_265_261_972_096,
+        0.009_255_462_182_712_732,
+        0.008_330_563_433_362_87,
+    ];
+    if k < 10.0 {
+        return TABLE[k as usize];
+    }
+    let kk = (k + 1.0) * (k + 1.0);
+    (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / (1260.0 * kk)) / kk) / (k + 1.0)
 }
 
 /// A stationary Ornstein–Uhlenbeck (exponentially correlated Gaussian)
@@ -309,5 +436,97 @@ mod tests {
     #[should_panic(expected = "p must be in [0,1]")]
     fn bernoulli_rejects_bad_p() {
         DivotRng::seed_from_u64(0).bernoulli(1.5);
+    }
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = DivotRng::seed_from_u64(1);
+        assert_eq!(rng.binomial(0, 0.3), 0);
+        assert_eq!(rng.binomial(100, 0.0), 0);
+        assert_eq!(rng.binomial(100, 1.0), 100);
+        // Degenerate draws consume no randomness: the stream position is
+        // unchanged relative to a fresh generator.
+        let mut fresh = DivotRng::seed_from_u64(1);
+        assert_eq!(rng.uniform(), fresh.uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn binomial_rejects_bad_p() {
+        DivotRng::seed_from_u64(0).binomial(10, -0.1);
+    }
+
+    #[test]
+    fn binomial_is_deterministic_per_seed() {
+        for &(n, p) in &[(7u64, 0.2), (420, 0.03), (420, 0.5), (100_000, 0.37)] {
+            let a = DivotRng::seed_from_u64(99).binomial(n, p);
+            let b = DivotRng::seed_from_u64(99).binomial(n, p);
+            assert_eq!(a, b, "n={n} p={p}");
+            assert!(a <= n);
+        }
+    }
+
+    #[test]
+    fn binomial_matches_mean_and_variance() {
+        // Exercise both branches (inverse-CDF: n·q < 10; rejection: ≥ 10)
+        // and the p > 0.5 mirror.
+        for &(n, p) in &[(40u64, 0.05), (420, 0.5), (420, 0.97), (5_000, 0.12)] {
+            let mut rng = DivotRng::seed_from_u64(0xB1_707 ^ n);
+            let draws = 20_000;
+            let xs: Vec<f64> = (0..draws).map(|_| rng.binomial(n, p) as f64).collect();
+            let mean = stats::mean(&xs);
+            let var = {
+                let sd = stats::std_dev(&xs);
+                sd * sd
+            };
+            let want_mean = n as f64 * p;
+            let want_var = n as f64 * p * (1.0 - p);
+            let mean_tol = 5.0 * (want_var / draws as f64).sqrt();
+            assert!(
+                (mean - want_mean).abs() < mean_tol,
+                "n={n} p={p}: mean {mean} vs {want_mean}"
+            );
+            assert!(
+                (var - want_var).abs() < 0.1 * want_var + 1.0,
+                "n={n} p={p}: var {var} vs {want_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_small_n_matches_exact_pmf() {
+        // Chi-squared-style check of the full pmf on a small case that the
+        // inverse-CDF branch serves.
+        let (n, p) = (8u64, 0.3);
+        let mut rng = DivotRng::seed_from_u64(31);
+        let draws = 50_000usize;
+        let mut counts = vec![0usize; n as usize + 1];
+        for _ in 0..draws {
+            counts[rng.binomial(n, p) as usize] += 1;
+        }
+        for k in 0..=n {
+            let mut pmf = (1.0 - p).powi(n as i32);
+            for j in 0..k {
+                pmf *= p / (1.0 - p) * (n - j) as f64 / (j + 1) as f64;
+            }
+            let got = counts[k as usize] as f64 / draws as f64;
+            let tol = 4.0 * (pmf * (1.0 - pmf) / draws as f64).sqrt() + 1e-4;
+            assert!((got - pmf).abs() < tol, "k={k}: {got} vs {pmf}");
+        }
+    }
+
+    #[test]
+    fn stirling_tail_matches_log_factorial() {
+        // tail(k) = ln k! − [(k+½)ln(k+1) − (k+1) + ½ln(2π)]; verify the
+        // series branch against a direct sum of logs.
+        for k in [10u64, 25, 100, 1000] {
+            let lnfact: f64 = (1..=k).map(|j| (j as f64).ln()).sum();
+            let kf = k as f64;
+            let stirling = (kf + 0.5) * (kf + 1.0).ln() - (kf + 1.0)
+                + 0.5 * (2.0 * std::f64::consts::PI).ln();
+            let want = lnfact - stirling;
+            let got = super::stirling_tail(kf);
+            assert!((got - want).abs() < 1e-9, "k={k}: {got} vs {want}");
+        }
     }
 }

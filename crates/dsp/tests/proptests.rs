@@ -1,6 +1,8 @@
 //! Property-based tests of the numeric substrate's invariants.
 
 use divot_dsp::gaussian::{DiscreteModulatedCdf, PlainCdf, ProbabilityMap, TriangleModulatedCdf};
+use divot_dsp::quadrature::GaussHermite;
+use divot_dsp::rng::DivotRng;
 use divot_dsp::similarity::{cosine, error_function, similarity};
 use divot_dsp::stats::{Accumulator, Histogram};
 use divot_dsp::waveform::Waveform;
@@ -170,6 +172,84 @@ proptest! {
         for (a, b) in w.samples().iter().zip(r.samples()) {
             prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
         }
+    }
+
+    #[test]
+    fn binomial_support_is_0_to_n(
+        seed in any::<u64>(),
+        n in 0u64..200_000,
+        p in 0.0f64..1.0,
+    ) {
+        // Both the inverse-CDF and the rejection branch, every p regime;
+        // the closed endpoints are degenerate and checked exactly.
+        let k = DivotRng::seed_from_u64(seed).binomial(n, p);
+        prop_assert!(k <= n, "k={k} > n={n} at p={p}");
+        prop_assert_eq!(DivotRng::seed_from_u64(seed).binomial(n, 1.0), n);
+        prop_assert_eq!(DivotRng::seed_from_u64(seed).binomial(n, 0.0), 0);
+    }
+
+    #[test]
+    fn binomial_is_a_pure_function_of_the_seed(
+        seed in any::<u64>(),
+        n in 1u64..50_000,
+        p in 0.001f64..0.999,
+    ) {
+        let mut a = DivotRng::seed_from_u64(seed);
+        let mut b = DivotRng::seed_from_u64(seed);
+        // Same seed, same (n, p) sequence → identical draws *and*
+        // identical stream positions afterwards.
+        for _ in 0..4 {
+            prop_assert_eq!(a.binomial(n, p), b.binomial(n, p));
+        }
+        prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+    }
+
+    #[test]
+    fn binomial_matches_moments(
+        seed in any::<u64>(),
+        n in 20u64..5_000,
+        p in 0.01f64..0.99,
+    ) {
+        let mut rng = DivotRng::seed_from_u64(seed);
+        let draws = 1_500;
+        let xs: Vec<f64> = (0..draws).map(|_| rng.binomial(n, p) as f64).collect();
+        let want_mean = n as f64 * p;
+        let want_var = n as f64 * p * (1.0 - p);
+        // 6-sigma band on the sample mean; generous (×2 + slack) band on
+        // the sample variance (its own sampling error is ~√(2/draws)·var).
+        let mean_tol = 6.0 * (want_var / draws as f64).sqrt();
+        prop_assert!(
+            (divot_dsp::stats::mean(&xs) - want_mean).abs() < mean_tol,
+            "mean off: {} vs {want_mean}", divot_dsp::stats::mean(&xs)
+        );
+        let var = divot_dsp::stats::variance(&xs);
+        prop_assert!(
+            var > 0.5 * want_var && var < 2.0 * want_var + 1.0,
+            "variance off: {var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn gauss_hermite_reproduces_the_probit_identity(
+        a in -2.0f64..2.0,
+        b in -3.0f64..3.0,
+        mu in -1.0f64..1.0,
+        sigma in 0.0f64..0.8,
+    ) {
+        // E[Φ(a + bT)] has an exact closed form for T ~ N(μ, σ²); the
+        // fixed 9-node rule the acquisition path uses must reproduce it.
+        let q = GaussHermite::new(9);
+        let got = q.expect_normal(mu, sigma, |t| divot_dsp::gaussian::std_cdf(a + b * t));
+        let want = divot_dsp::gaussian::std_cdf(
+            (a + b * mu) / (1.0f64 + b * b * sigma * sigma).sqrt(),
+        );
+        // Quadrature error grows with the smoothing ratio |b·σ| (how many
+        // comparator sigmas one jitter sigma sweeps); the acquisition path
+        // operates well below 1, where the rule is ~1e-6 accurate.
+        let ratio = (b * sigma).abs();
+        let tol = 1e-4 + 3e-3 * ratio * ratio;
+        prop_assert!((got - want).abs() < tol, "got {got} want {want} ratio {ratio}");
+        prop_assert!((0.0..=1.0).contains(&got.clamp(0.0, 1.0)));
     }
 
     #[test]

@@ -33,6 +33,12 @@ bench:
 bench-scatter:
     CRITERION_JSON="$(pwd)/BENCH_scatter.json" cargo bench -p divot-bench --bench scatter
 
+# Acquisition benchmark with machine-readable output: writes
+# BENCH_itdr.json (timings + the Trial-vs-Analytic speedup metrics at the
+# paper-full 341×420 configuration) at the repo root.
+bench-itdr:
+    CRITERION_JSON="$(pwd)/BENCH_itdr.json" cargo bench -p divot-bench --bench itdr
+
 # Regenerate every paper figure/claim output into results/.
 figures:
     for b in fig7_authentication fig8_temperature fig9_load_modification \
