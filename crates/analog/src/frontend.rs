@@ -98,6 +98,7 @@ impl FrontEndConfig {
              Vernier period ({period})"
         );
         let sweeps = (u64::from(repetitions) / period) as u32;
+        divot_telemetry::inc("frontend.level_schedule_builds");
         let mut schedule: Vec<(f64, u32)> = Vec::new();
         for r in 0..period {
             let level = self.modulation.value_at_phase(self.vernier.phase(r));

@@ -17,7 +17,7 @@
 //! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
 
 use divot_analog::modulation::ModulationWave;
-use divot_bench::{banner, collect_scores_sampled, parse_cli_acq_mode, print_metric, Bench};
+use divot_bench::{banner, collect_scores_sampled, print_metric, Bench, BenchCli};
 use divot_core::ets::EtsSchedule;
 use divot_core::itdr::ItdrConfig;
 use divot_dsp::stats::Summary;
@@ -40,8 +40,9 @@ fn separation(bench: &Bench, n: usize) -> (f64, f64, f64) {
 }
 
 fn main() {
+    let cli = BenchCli::parse();
     let n = measurements_budget();
-    let acq_mode = parse_cli_acq_mode();
+    let acq_mode = cli.acq_mode();
     print_metric("acq_mode", acq_mode.label());
 
     banner("ablation 1: PDM vs plain APC (fixed DC reference)");

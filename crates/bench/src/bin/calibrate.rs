@@ -2,12 +2,13 @@
 //! similarity separation for the prototype bench, to ground the default
 //! analog/physical parameters. Not a paper figure — a lab notebook tool.
 
-use divot_bench::{banner, collect_scores, parse_cli_acq_mode, print_metric, Bench};
+use divot_bench::{banner, collect_scores, print_metric, Bench, BenchCli};
 use divot_core::itdr::ItdrConfig;
 use divot_dsp::stats::Summary;
 
 fn main() {
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     let mut bench = Bench::paper_prototype(2024);
     bench.itdr = ItdrConfig::paper().with_acq_mode(acq_mode);
     // Optional overrides for sweep experiments:

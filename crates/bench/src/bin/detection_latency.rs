@@ -11,13 +11,14 @@
 //! harness-timing section — simulated results are identical either way).
 
 use divot_analog::linecode::LineCode;
-use divot_bench::{banner, parse_cli_acq_mode, parse_cli_policy, print_metric};
+use divot_bench::{banner, print_metric, BenchCli};
 use divot_core::itdr::ItdrConfig;
 use divot_core::timing::TimingModel;
 use divot_core::trigger::TriggerSource;
 
 fn main() {
-    let policy = parse_cli_policy();
+    let cli = BenchCli::parse();
+    let policy = cli.policy;
     let proto = TimingModel::paper_prototype();
 
     banner("prototype measurement budget (156.25 MHz clock lane)");
@@ -104,7 +105,7 @@ fn main() {
     );
 
     banner("harness acquisition wall clock (simulation, not bus time)");
-    let acq_mode = parse_cli_acq_mode();
+    let acq_mode = cli.acq_mode();
     let bench = divot_bench::Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     let mut ch = bench.channel(0);
     let itdr = bench.itdr();

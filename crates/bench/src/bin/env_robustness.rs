@@ -16,7 +16,7 @@
 
 use divot_analog::frontend::FrontEndConfig;
 use divot_bench::{
-    banner, collect_scores_sampled, parse_cli_acq_mode, parse_cli_policy, print_metric, Bench,
+    banner, collect_scores_sampled, print_metric, Bench, BenchCli,
 };
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
@@ -31,14 +31,15 @@ struct Condition {
 }
 
 fn main() {
-    let policy = parse_cli_policy();
+    let cli = BenchCli::parse();
+    let policy = cli.policy;
     let started = std::time::Instant::now();
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2048);
     print_metric("exec_mode", policy.label());
-    let acq_mode = parse_cli_acq_mode();
+    let acq_mode = cli.acq_mode();
     print_metric("acq_mode", acq_mode.label());
 
     let conditions = [

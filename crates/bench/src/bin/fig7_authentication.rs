@@ -15,16 +15,17 @@
 //! identical, so the distributions and EER agree within sampling noise).
 
 use divot_bench::{
-    banner, collect_scores_sampled, parse_cli_acq_mode, parse_cli_policy, print_histogram,
+    banner, collect_scores_sampled, print_histogram, BenchCli,
     print_metric, Bench,
 };
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 
 fn main() {
-    let policy = parse_cli_policy();
-    let acq_mode = parse_cli_acq_mode();
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = BenchCli::parse();
+    let policy = cli.policy;
+    let acq_mode = cli.acq_mode();
+    let quick = cli.quick();
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -10,7 +10,7 @@
 //! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
 
 use divot_bench::{
-    banner, collect_scores_sampled, parse_cli_acq_mode, print_histogram, print_metric, Bench,
+    banner, collect_scores_sampled, print_histogram, print_metric, Bench, BenchCli,
 };
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
@@ -23,7 +23,8 @@ fn main() {
         .unwrap_or(2048);
     // Spread the batch over one full oven cycle (600 s).
     let gap = 600.0 / measurements as f64;
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     print_metric("acq_mode", acq_mode.label());
 
     banner("room-temperature reference");

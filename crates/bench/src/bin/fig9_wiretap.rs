@@ -9,12 +9,13 @@
 //! Run: `cargo run --release -p divot-bench --bin fig9_wiretap`
 
 use divot_bench::{
-    banner, parse_cli_acq_mode, print_metric, print_waveform, run_tamper_experiment, Bench,
+    banner, print_metric, print_waveform, run_tamper_experiment, Bench, BenchCli,
 };
 use divot_txline::attack::Attack;
 
 fn main() {
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     print_metric("acq_mode", acq_mode.label());
     let exp = run_tamper_experiment(&bench, &Attack::paper_wiretap(), 16);

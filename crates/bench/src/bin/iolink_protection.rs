@@ -5,13 +5,14 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin iolink_protection`
 
-use divot_bench::{banner, parse_cli_acq_mode, print_metric};
+use divot_bench::{banner, print_metric, BenchCli};
+use divot_core::itdr::AcqMode;
 use divot_core::monitor::MonitorConfig;
 use divot_iolink::link::LinkConfig;
 use divot_iolink::sim::{LinkScenarioEvent, LinkSim, LinkSimConfig};
 use divot_txline::attack::Attack;
 
-fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
+fn config(acq_mode: AcqMode, poll_every_frames: u64, seed: u64) -> LinkSimConfig {
     let defaults = LinkConfig::default();
     LinkSimConfig {
         link: LinkConfig {
@@ -21,7 +22,7 @@ fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
                 fails_to_alarm: 2,
                 ..MonitorConfig::default()
             },
-            itdr: defaults.itdr.with_acq_mode(parse_cli_acq_mode()),
+            itdr: defaults.itdr.with_acq_mode(acq_mode),
             ..defaults
         },
         frames: 2048,
@@ -31,16 +32,18 @@ fn config(poll_every_frames: u64, seed: u64) -> LinkSimConfig {
 }
 
 fn main() {
-    print_metric("acq_mode", parse_cli_acq_mode().label());
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
+    print_metric("acq_mode", acq_mode.label());
     banner("clean link throughput (2048 frames, 256 B payloads)");
-    let clean = LinkSim::new(config(64, 5)).run();
+    let clean = LinkSim::new(config(acq_mode, 64, 5)).run();
     print_metric("delivered", format!("{}/{}", clean.delivered, clean.attempted));
     print_metric("exposed", clean.exposed);
 
     banner("eavesdropping tap at frame 1024: exposure vs polling cadence");
     println!("poll_every_frames | detection_latency_frames | exposed_frames | exposed_bytes");
     for poll in [16u64, 64, 256, 1024] {
-        let mut sim = LinkSim::new(config(poll, 6));
+        let mut sim = LinkSim::new(config(acq_mode, poll, 6));
         sim.set_scenario(vec![LinkScenarioEvent::Attack {
             at_frame: 1024,
             attack: Attack::paper_wiretap(),
@@ -58,7 +61,7 @@ fn main() {
     }
 
     banner("unmonitored link under the same tap");
-    let mut naked = LinkSim::new(config(u64::MAX, 6));
+    let mut naked = LinkSim::new(config(acq_mode, u64::MAX, 6));
     naked.set_scenario(vec![LinkScenarioEvent::Attack {
         at_frame: 1024,
         attack: Attack::paper_wiretap(),
@@ -71,7 +74,7 @@ fn main() {
     );
 
     banner("magnetic (non-contact) probe on the link");
-    let mut sim = LinkSim::new(config(64, 7));
+    let mut sim = LinkSim::new(config(acq_mode, 64, 7));
     sim.set_scenario(vec![LinkScenarioEvent::Attack {
         at_frame: 512,
         attack: Attack::paper_magnetic_probe(),

@@ -5,13 +5,14 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin membus_policies`
 
-use divot_bench::{banner, parse_cli_acq_mode};
+use divot_bench::{banner, BenchCli};
 use divot_membus::scheduler::{ArbiterPolicy, PagePolicy};
 use divot_membus::sim::{SimConfig, Simulation};
 use divot_membus::workload::{AccessPattern, WorkloadConfig};
 
 fn main() {
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     banner("policy sweep: throughput (req/kcycle) and mean latency (cycles)");
     println!("acq_mode = {}", acq_mode.label());
     println!("workload | arbiter | page | protected_tput | protected_lat | baseline_tput | baseline_lat");

@@ -9,15 +9,15 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin membus_protection`
 
-use divot_bench::{banner, parse_cli_acq_mode, print_metric};
-use divot_core::itdr::ItdrConfig;
+use divot_bench::{banner, print_metric, BenchCli};
+use divot_core::itdr::{AcqMode, ItdrConfig};
 use divot_core::monitor::MonitorConfig;
 use divot_membus::protect::{ProtectionConfig, ScenarioEvent};
 use divot_membus::sim::{SimConfig, Simulation};
 use divot_membus::workload::{AccessPattern, WorkloadConfig};
 use divot_txline::attack::Attack;
 
-fn protection() -> ProtectionConfig {
+fn protection(acq_mode: AcqMode) -> ProtectionConfig {
     ProtectionConfig {
         monitor: MonitorConfig {
             enroll_count: 16,
@@ -25,15 +25,17 @@ fn protection() -> ProtectionConfig {
             fails_to_alarm: 2,
             ..MonitorConfig::default()
         },
-        itdr: ItdrConfig::embedded().with_acq_mode(parse_cli_acq_mode()),
+        itdr: ItdrConfig::embedded().with_acq_mode(acq_mode),
         poll_interval: 10_000,
         ..ProtectionConfig::default()
     }
 }
 
 fn main() {
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     let cycles = 200_000;
-    print_metric("acq_mode", parse_cli_acq_mode().label());
+    print_metric("acq_mode", acq_mode.label());
 
     banner("overhead: protected vs unprotected (clean bus)");
     println!("workload | mode | throughput_per_kcycle | mean_latency | stalls | blocked");
@@ -49,7 +51,7 @@ fn main() {
                     intensity: 0.08,
                     ..WorkloadConfig::default()
                 },
-                protection: protection(),
+                protection: protection(acq_mode),
                 cycles,
                 seed: 99,
                 ..SimConfig::default()
@@ -71,7 +73,7 @@ fn main() {
     println!("mode | detection_latency_cycles | leaked | blocked | completed");
     for enabled in [true, false] {
         let mut cfg = SimConfig {
-            protection: protection(),
+            protection: protection(acq_mode),
             cycles,
             seed: 42,
             ..SimConfig::default()
@@ -100,7 +102,7 @@ fn main() {
     let mut cfg = SimConfig {
         protection: ProtectionConfig {
             cpu_side: false,
-            ..protection()
+            ..protection(acq_mode)
         },
         cycles,
         seed: 43,

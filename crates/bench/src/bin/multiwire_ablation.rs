@@ -13,7 +13,7 @@
 //!
 //! [`Authenticator::verify_fused`]: divot_core::auth::Authenticator::verify_fused
 
-use divot_bench::{banner, collect_scores_sampled, parse_cli_acq_mode, print_metric, Bench};
+use divot_bench::{banner, collect_scores_sampled, print_metric, Bench, BenchCli};
 use divot_dsp::rng::DivotRng;
 use divot_dsp::RocCurve;
 
@@ -22,7 +22,8 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2048);
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let acq_mode = cli.acq_mode();
     print_metric("acq_mode", acq_mode.label());
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     let scores = collect_scores_sampled(&bench.measure_all(measurements), 4 * measurements, 7);

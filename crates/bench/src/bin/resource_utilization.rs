@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin resource_utilization`
 
-use divot_bench::{banner, parse_cli_acq_mode, print_metric};
+use divot_bench::{banner, print_metric, BenchCli};
 use divot_core::itdr::ItdrConfig;
 use divot_core::resources::{ResourceModel, XCZU7EV};
 
@@ -15,7 +15,7 @@ fn main() {
     // Parsed for CLI uniformity with the other binaries; the resource
     // model reports synthesized hardware, which is identical either way
     // (the analytic path is a simulation-speed device, not a circuit).
-    let _ = parse_cli_acq_mode();
+    let _cli = BenchCli::parse();
     let model = ResourceModel::paper_prototype();
 
     banner("per-detector inventory (prototype)");

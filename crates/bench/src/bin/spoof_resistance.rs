@@ -24,7 +24,7 @@
 //! (pass `--serial` to disable the parallel acquisition engine — results
 //! are bitwise identical either way).
 
-use divot_bench::{banner, parse_cli_acq_mode, parse_cli_policy, print_metric, Bench};
+use divot_bench::{banner, print_metric, Bench, BenchCli};
 use divot_core::auth::AuthPolicy;
 use divot_dsp::rng::DivotRng;
 use divot_dsp::similarity::similarity;
@@ -36,8 +36,9 @@ use divot_txline::units::Meters;
 const STRICT_THRESHOLD: f64 = 0.96;
 
 fn main() {
-    let policy = parse_cli_policy();
-    let acq_mode = parse_cli_acq_mode();
+    let cli = BenchCli::parse();
+    let policy = cli.policy;
+    let acq_mode = cli.acq_mode();
     let started = std::time::Instant::now();
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
     let eer_threshold = AuthPolicy::default().threshold;

@@ -107,40 +107,175 @@ impl Bench {
     }
 }
 
-/// Handle the bench binaries' shared `--serial` escape hatch: scans the
-/// process arguments, latches [`divot_core::exec::force_serial`] when the
-/// flag is present, and returns the policy now in force. Call once at the
-/// top of `main` and quote [`ExecPolicy::label`] in the output so runs
-/// are self-describing.
-pub fn parse_cli_policy() -> ExecPolicy {
-    if std::env::args().any(|a| a == "--serial") {
-        divot_core::exec::force_serial(true);
-    }
-    ExecPolicy::auto()
+/// The flags shared by every bench binary, parsed strictly: unknown
+/// flags, missing values, and bad `--acq-mode` values are errors, so a
+/// typo (`--serail`, `--acq-mode=analitic`) can't silently benchmark the
+/// wrong configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--serial`: pin every [`ExecPolicy::auto`] fan-out to one thread.
+    pub serial: bool,
+    /// `--quick`: small smoke-test batch (binaries that support it).
+    pub quick: bool,
+    /// `--acq-mode <trial|analytic>`: acquisition engine
+    /// ([`AcqMode::Trial`] when absent).
+    pub acq_mode: AcqMode,
+    /// `--telemetry <path.jsonl>`: write structured events to this file.
+    pub telemetry: Option<String>,
+    /// `--metrics-summary`: print the metric registry at exit.
+    pub metrics_summary: bool,
 }
 
-/// Handle the bench binaries' shared `--acq-mode <trial|analytic>` flag
-/// (`--acq-mode=<v>` also accepted). Returns [`AcqMode::Trial`] — the
-/// statistical reference path — when the flag is absent, and exits with a
-/// usage message on an unknown value so typos don't silently benchmark the
-/// wrong engine. Quote [`AcqMode::label`] in the output so runs are
-/// self-describing.
-pub fn parse_cli_acq_mode() -> AcqMode {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        let value = if a == "--acq-mode" {
-            args.next()
-        } else {
-            a.strip_prefix("--acq-mode=").map(str::to_owned)
-        };
-        if let Some(v) = value {
-            return v.parse().unwrap_or_else(|e: String| {
-                eprintln!("--acq-mode: {e}");
-                std::process::exit(2);
-            });
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            serial: false,
+            quick: false,
+            acq_mode: AcqMode::Trial,
+            telemetry: None,
+            metrics_summary: false,
         }
     }
-    AcqMode::Trial
+}
+
+impl BenchArgs {
+    /// Parse flags from an argument list (program name already
+    /// stripped). Pure: no globals touched, no process exit — the
+    /// testable core of [`BenchCli::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on an unknown flag, a flag missing its
+    /// value, a value handed to a boolean flag, or an unparsable
+    /// `--acq-mode`.
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (arg, None),
+            };
+            let has_inline = inline.is_some();
+            let switch = |target: &mut bool| {
+                if has_inline {
+                    Err(format!("{flag} takes no value"))
+                } else {
+                    *target = true;
+                    Ok(())
+                }
+            };
+            match flag.as_str() {
+                "--serial" => switch(&mut out.serial)?,
+                "--quick" => switch(&mut out.quick)?,
+                "--metrics-summary" => switch(&mut out.metrics_summary)?,
+                "--acq-mode" => {
+                    let v = inline
+                        .or_else(|| it.next())
+                        .ok_or("--acq-mode requires a value (trial|analytic)")?;
+                    out.acq_mode = v.parse().map_err(|e: String| format!("--acq-mode: {e}"))?;
+                }
+                "--telemetry" => {
+                    out.telemetry = Some(
+                        inline
+                            .or_else(|| it.next())
+                            .ok_or("--telemetry requires a file path")?,
+                    );
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The usage line printed when argument parsing fails.
+pub const USAGE: &str = "usage: <bench-binary> [--serial] [--quick] \
+    [--acq-mode <trial|analytic>] [--telemetry <path.jsonl>] [--metrics-summary]";
+
+/// The shared bench command line, activated: `--serial` latched into
+/// [`divot_core::exec::force_serial`], telemetry installed as the
+/// process default when `--telemetry`/`--metrics-summary` ask for it.
+///
+/// Bind the value for the whole of `main`: dropping it prints the
+/// metric summary (under `--metrics-summary`) and flushes the event
+/// sink, so telemetry written during the run actually lands on disk.
+#[derive(Debug)]
+pub struct BenchCli {
+    /// The parsed flags.
+    pub args: BenchArgs,
+    /// The execution policy in force after `--serial` was applied.
+    pub policy: ExecPolicy,
+}
+
+impl BenchCli {
+    /// Parse the process arguments; on any error print the message plus
+    /// [`USAGE`] to stderr and exit with status 2.
+    pub fn parse() -> Self {
+        match BenchArgs::parse_from(std::env::args().skip(1)) {
+            Ok(args) => Self::activate(args),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Apply parsed flags to the process: latch `--serial`, install the
+    /// global telemetry when requested (exits with status 2 if the
+    /// `--telemetry` file cannot be created).
+    fn activate(args: BenchArgs) -> Self {
+        if args.serial {
+            divot_core::exec::force_serial(true);
+        }
+        if args.telemetry.is_some() || args.metrics_summary {
+            let telemetry = match &args.telemetry {
+                Some(path) => match divot_telemetry::EventSink::to_file(path) {
+                    Ok(sink) => divot_telemetry::Telemetry::with_sink(sink),
+                    Err(e) => {
+                        eprintln!("error: --telemetry {path}: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => divot_telemetry::Telemetry::new(),
+            };
+            // First install wins; a pre-installed default (tests) is fine.
+            let _ = divot_telemetry::install(telemetry);
+        }
+        let policy = ExecPolicy::auto();
+        Self { args, policy }
+    }
+
+    /// The acquisition mode in force.
+    pub fn acq_mode(&self) -> AcqMode {
+        self.args.acq_mode
+    }
+
+    /// Whether `--quick` was given.
+    pub fn quick(&self) -> bool {
+        self.args.quick
+    }
+}
+
+impl Drop for BenchCli {
+    fn drop(&mut self) {
+        let Some(t) = divot_telemetry::global() else {
+            return;
+        };
+        if self.args.metrics_summary {
+            banner("metrics");
+            print!("{}", t.registry().render_text());
+        }
+        if let Some(sink) = t.sink() {
+            if let Err(e) = sink.flush() {
+                eprintln!("warning: telemetry sink: {e}");
+            }
+        }
+    }
 }
 
 /// Genuine and impostor similarity score sets.
@@ -323,6 +458,45 @@ mod tests {
         let s = bench.measure_all_spaced_with(2, 1e-3, ExecPolicy::Serial);
         let p = bench.measure_all_spaced_with(2, 1e-3, ExecPolicy::Parallel);
         assert_eq!(s, p);
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parse_accepts_every_shared_flag() {
+        let args = parse(&[
+            "--serial",
+            "--quick",
+            "--acq-mode",
+            "analytic",
+            "--telemetry",
+            "/tmp/t.jsonl",
+            "--metrics-summary",
+        ])
+        .unwrap();
+        assert!(args.serial && args.quick && args.metrics_summary);
+        assert_eq!(args.acq_mode, AcqMode::Analytic);
+        assert_eq!(args.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+
+        // `=` forms and defaults.
+        let args = parse(&["--acq-mode=trial", "--telemetry=x.jsonl"]).unwrap();
+        assert_eq!(args.acq_mode, AcqMode::Trial);
+        assert_eq!(args.telemetry.as_deref(), Some("x.jsonl"));
+        assert!(!args.serial && !args.quick && !args.metrics_summary);
+        assert_eq!(parse(&[]).unwrap(), BenchArgs::default());
+    }
+
+    #[test]
+    fn parse_rejects_typos_and_missing_values() {
+        assert!(parse(&["--serail"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["extra"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--acq-mode"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--telemetry"]).unwrap_err().contains("requires a file path"));
+        assert!(parse(&["--acq-mode", "analitic"]).unwrap_err().contains("--acq-mode"));
+        assert!(parse(&["--serial=1"]).unwrap_err().contains("takes no value"));
+        assert!(parse(&["--quick=yes"]).unwrap_err().contains("takes no value"));
     }
 
     #[test]

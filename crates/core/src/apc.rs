@@ -30,6 +30,7 @@ impl ReconstructionTable {
     /// Panics if `repetitions == 0`.
     pub fn build(map: &impl ProbabilityMap, repetitions: u32) -> Self {
         assert!(repetitions > 0, "need at least one repetition");
+        divot_telemetry::inc("apc.rom_builds");
         let r = repetitions as f64;
         let volts = (0..=repetitions)
             .map(|c| map.voltage((c as f64 + 0.5) / (r + 1.0)))

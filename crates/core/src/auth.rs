@@ -10,7 +10,32 @@
 use crate::fingerprint::Fingerprint;
 use divot_dsp::similarity::similarity;
 use divot_dsp::waveform::Waveform;
+use divot_telemetry::{Histogram, Value};
 use serde::{Deserialize, Serialize};
+
+/// Record one decision in the process-wide telemetry (no-op when none
+/// is installed): `auth.accepts` / `auth.rejects` counters, the
+/// `auth.similarity` score histogram, and an `auth.decision` event.
+/// Observe-only — the decision is already made when this runs.
+fn note_decision(decision: &AuthDecision, lanes: usize) {
+    if let Some(t) = divot_telemetry::global() {
+        let r = t.registry();
+        let accepted = decision.is_accept();
+        let s = decision.similarity();
+        r.counter(if accepted { "auth.accepts" } else { "auth.rejects" })
+            .inc();
+        r.histogram_with("auth.similarity", Histogram::unit_interval)
+            .observe(s);
+        t.emit(
+            "auth.decision",
+            &[
+                ("accepted", Value::from(accepted)),
+                ("similarity", Value::from(s)),
+                ("lanes", Value::from(lanes)),
+            ],
+        );
+    }
+}
 
 /// Acceptance policy for authentication.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,11 +129,13 @@ impl Authenticator {
     /// One authentication check.
     pub fn verify(&self, fingerprint: &Fingerprint, measured: &Waveform) -> AuthDecision {
         let s = self.score(fingerprint, measured);
-        if s >= self.policy.threshold {
+        let decision = if s >= self.policy.threshold {
             AuthDecision::Accept { similarity: s }
         } else {
             AuthDecision::Reject { similarity: s }
-        }
+        };
+        note_decision(&decision, 1);
+        decision
     }
 
     /// Multi-lane fusion: average the per-lane similarities and decide on
@@ -126,11 +153,13 @@ impl Authenticator {
             .map(|(fp, wf)| self.score(fp, wf))
             .sum::<f64>()
             / lanes.len() as f64;
-        if s >= self.policy.threshold {
+        let decision = if s >= self.policy.threshold {
             AuthDecision::Accept { similarity: s }
         } else {
             AuthDecision::Reject { similarity: s }
-        }
+        };
+        note_decision(&decision, lanes.len());
+        decision
     }
 }
 

@@ -23,7 +23,7 @@ use divot_dsp::rng::mix_seed;
 use divot_dsp::waveform::Waveform;
 use divot_txline::attack::Attack;
 use divot_txline::env::Environment;
-use divot_txline::response::{CacheStats, ResponseCache};
+use divot_txline::response::{CacheStatsView, ResponseCache};
 use divot_txline::scatter::{EdgeShape, Network, SimConfig, TxLine};
 use divot_txline::units::Seconds;
 use std::collections::HashMap;
@@ -248,7 +248,7 @@ impl BusChannel {
     }
 
     /// Hit/miss/invalidation counters of the underlying response cache.
-    pub fn cache_stats(&self) -> CacheStats {
+    pub fn cache_stats(&self) -> CacheStatsView {
         self.response_cache.stats()
     }
 }

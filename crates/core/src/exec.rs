@@ -88,9 +88,20 @@ impl ExecPolicy {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.note_run();
         match self {
             ExecPolicy::Serial => (0..n).map(f).collect(),
             ExecPolicy::Parallel => par::par_map_indexed(n, f),
+        }
+    }
+
+    /// Count this fan-out under `exec.serial.runs` / `exec.parallel.runs`
+    /// in the process-wide telemetry (no-op when none is installed).
+    /// Once per fan-out, never per item.
+    fn note_run(self) {
+        match self {
+            ExecPolicy::Serial => divot_telemetry::inc("exec.serial.runs"),
+            ExecPolicy::Parallel => divot_telemetry::inc("exec.parallel.runs"),
         }
     }
 
@@ -102,6 +113,7 @@ impl ExecPolicy {
         T: Send,
         F: Fn(usize, &mut A) -> T + Sync,
     {
+        self.note_run();
         match self {
             ExecPolicy::Serial => items
                 .iter_mut()
@@ -125,6 +137,7 @@ impl ExecPolicy {
         T: Send,
         F: Fn(usize, &mut A, &mut B) -> T + Sync,
     {
+        self.note_run();
         match self {
             ExecPolicy::Serial => {
                 assert_eq!(a.len(), b.len(), "zipped slices must match in length");

@@ -137,6 +137,8 @@ impl DivotHub {
             self.lanes.len(),
             "one channel per registered lane"
         );
+        let _sweep = divot_telemetry::span!("hub.calibrate");
+        divot_telemetry::set_gauge("hub.lanes", self.lanes.len() as f64);
         // Across-lane parallelism: keep each lane's own acquisition serial
         // so the worker pool is not oversubscribed.
         policy.run_zip_mut(&mut self.lanes, channels, |_, lane, ch| {
@@ -174,6 +176,8 @@ impl DivotHub {
             self.lanes.len(),
             "one channel per registered lane"
         );
+        let _sweep = divot_telemetry::span!("hub.sweep");
+        divot_telemetry::set_gauge("hub.lanes", self.lanes.len() as f64);
         policy.run_zip_mut(&mut self.lanes, channels, |i, lane, ch| {
             (LaneId(i), lane.monitor.poll_with(ch, ExecPolicy::Serial))
         })

@@ -26,8 +26,10 @@ use divot_dsp::filter::moving_average;
 use divot_dsp::quadrature::GaussHermite;
 use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_dsp::waveform::Waveform;
+use divot_telemetry::{Counter, Value};
 use divot_txline::units::Seconds;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Domain tag for the per-point jitter RNG streams.
 const JITTER_DOMAIN: u64 = 0x4A17_0000;
@@ -181,6 +183,35 @@ impl ItdrConfig {
     }
 }
 
+/// Prefetched process-wide counter handles for the acquisition hot
+/// path. Built once per [`Itdr::measure_many`] call (`None` when no
+/// global telemetry is installed) and shared read-only by every point
+/// kernel, so the parallel loop pays one lock-free atomic add per
+/// counter per *point* — never a registry lookup, and nothing at all
+/// per trial. Strictly observe-only: no RNG, no control flow.
+struct AcqTelemetry {
+    points: Arc<Counter>,
+    trials: Arc<Counter>,
+    analytic_points: Arc<Counter>,
+    analytic_levels: Arc<Counter>,
+    analytic_saturated: Arc<Counter>,
+}
+
+impl AcqTelemetry {
+    fn prefetch() -> Option<Self> {
+        divot_telemetry::global().map(|t| {
+            let r = t.registry();
+            Self {
+                points: r.counter("itdr.points"),
+                trials: r.counter("itdr.trials"),
+                analytic_points: r.counter("itdr.analytic.points"),
+                analytic_levels: r.counter("itdr.analytic.levels"),
+                analytic_saturated: r.counter("itdr.analytic.saturated_levels"),
+            }
+        })
+    }
+}
+
 /// The iTDR instrument.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Itdr {
@@ -209,8 +240,13 @@ impl Itdr {
         &self,
         ctx: &MeasurementContext,
         table: &ReconstructionTable,
+        tel: Option<&AcqTelemetry>,
         n: usize,
     ) -> f64 {
+        if let Some(tel) = tel {
+            tel.points.inc();
+            tel.trials.add(u64::from(self.config.repetitions));
+        }
         let mut fe = ctx.frontend.fork_stream(mix_seed(ctx.seed, n as u64));
         let mut jitter = DivotRng::derive(ctx.seed, JITTER_DOMAIN ^ n as u64);
         let t_nominal = self.config.ets.time_of(n);
@@ -244,6 +280,7 @@ impl Itdr {
         table: &ReconstructionTable,
         schedule: &[(f64, u32)],
         quad: &GaussHermite,
+        tel: Option<&AcqTelemetry>,
         n: usize,
     ) -> f64 {
         debug_assert_eq!(quad.order(), JITTER_QUAD_ORDER);
@@ -266,10 +303,13 @@ impl Itdr {
             });
         let guard = SATURATION_SIGMAS * sigma;
         let mut counter = TripCounter::new();
+        let mut saturated = 0u64;
         for &(level, count) in schedule {
             let p = if sigma > 0.0 && level - (hi + offset) >= guard {
+                saturated += 1;
                 0.0
             } else if sigma > 0.0 && (lo + offset) - level >= guard {
+                saturated += 1;
                 1.0
             } else {
                 // Weighted quadrature sum; clamp the last few ULPs of
@@ -282,6 +322,11 @@ impl Itdr {
                     .clamp(0.0, 1.0)
             };
             counter.record_many(rng.binomial(u64::from(count), p) as u32, count);
+        }
+        if let Some(tel) = tel {
+            tel.analytic_points.inc();
+            tel.analytic_levels.add(schedule.len() as u64);
+            tel.analytic_saturated.add(saturated);
         }
         table.voltage(counter.count())
     }
@@ -306,15 +351,29 @@ impl Itdr {
              period ({period})",
             self.config.repetitions
         );
+        let _span = divot_telemetry::span!("itdr.measure");
+        let tel = AcqTelemetry::prefetch();
+        divot_telemetry::add("itdr.measurements", count as u64);
         let table = channel.reconstruction_table(self.config.repetitions);
         // The analytic plan (distinct-level schedule + jitter quadrature
         // rule) is a deterministic function of the configuration, computed
         // once and shared read-only by every point kernel. A hysteretic
         // comparator couples successive trials, so it silently falls back
-        // to per-trial simulation.
-        let analytic_plan = (self.config.acq_mode == AcqMode::Analytic
-            && channel.frontend_config().supports_analytic())
-        .then(|| {
+        // to per-trial simulation (silent to the *result*; the fallback is
+        // counted and logged so a mode mismatch is visible in telemetry).
+        let wants_analytic = self.config.acq_mode == AcqMode::Analytic;
+        let analytic_supported = channel.frontend_config().supports_analytic();
+        if wants_analytic && !analytic_supported {
+            divot_telemetry::add("itdr.analytic.fallbacks", count as u64);
+            divot_telemetry::emit(
+                "itdr.analytic_fallback",
+                &[
+                    ("reason", Value::from("comparator hysteresis couples trials")),
+                    ("measurements", Value::from(count)),
+                ],
+            );
+        }
+        let analytic_plan = (wants_analytic && analytic_supported).then(|| {
             (
                 channel.frontend_config().level_schedule(self.config.repetitions),
                 GaussHermite::new(JITTER_QUAD_ORDER),
@@ -334,9 +393,9 @@ impl Itdr {
             let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
             match &analytic_plan {
                 Some((schedule, quad)) => {
-                    self.point_voltage_analytic(ctx, &table, schedule, quad, n)
+                    self.point_voltage_analytic(ctx, &table, schedule, quad, tel.as_ref(), n)
                 }
-                None => self.point_voltage(ctx, &table, n),
+                None => self.point_voltage(ctx, &table, tel.as_ref(), n),
             }
         });
         volts

@@ -17,6 +17,7 @@ use crate::exec::ExecPolicy;
 use crate::fingerprint::Fingerprint;
 use crate::itdr::Itdr;
 use crate::tamper::{TamperDetector, TamperPolicy, TamperReport};
+use divot_telemetry::Value;
 use serde::{Deserialize, Serialize};
 
 /// Why the monitor is alarmed.
@@ -171,6 +172,7 @@ impl BusMonitor {
         self.fingerprint = Some(fp);
         self.state = MonitorState::Monitoring;
         self.fail_streak = 0;
+        divot_telemetry::inc("monitor.calibrations");
         MonitorEvent::Calibrated
     }
 
@@ -213,6 +215,7 @@ impl BusMonitor {
             .itdr
             .measure_averaged_with(channel, self.config.average_count, policy);
         let mut events = Vec::new();
+        divot_telemetry::inc("monitor.polls");
 
         let decision = self.authenticator.verify(fp, &measured);
         let report = self.detector.scan(fp.iip(), &measured);
@@ -249,9 +252,11 @@ impl BusMonitor {
                 {
                     self.state = MonitorState::Alarm(AlarmKind::TamperDetected);
                     events.push(MonitorEvent::AlarmRaised(AlarmKind::TamperDetected));
+                    Self::note_alarm("tamper", decision.similarity());
                 } else if self.fail_streak >= self.config.fails_to_alarm {
                     self.state = MonitorState::Alarm(AlarmKind::AuthenticationFailure);
                     events.push(MonitorEvent::AlarmRaised(AlarmKind::AuthenticationFailure));
+                    Self::note_alarm("auth_failure", decision.similarity());
                 }
             }
             MonitorState::Alarm(_) => {
@@ -260,11 +265,29 @@ impl BusMonitor {
                     self.fail_streak = 0;
                     self.tamper_streak = 0;
                     events.push(MonitorEvent::Recovered);
+                    divot_telemetry::inc("monitor.recoveries");
+                    divot_telemetry::emit(
+                        "monitor.recovered",
+                        &[("similarity", Value::from(decision.similarity()))],
+                    );
                 }
             }
             MonitorState::Uncalibrated => unreachable!("checked above"),
         }
         events
+    }
+
+    /// Count an alarm latch under `monitor.alarms` and emit the
+    /// `monitor.alarm` event (no-op without installed telemetry).
+    fn note_alarm(kind: &str, similarity: f64) {
+        divot_telemetry::inc("monitor.alarms");
+        divot_telemetry::emit(
+            "monitor.alarm",
+            &[
+                ("kind", Value::from(kind)),
+                ("similarity", Value::from(similarity)),
+            ],
+        );
     }
 }
 

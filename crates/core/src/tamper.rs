@@ -184,6 +184,22 @@ impl TamperDetector {
                 self.policy.velocity,
             )
         });
+        divot_telemetry::inc("tamper.scans");
+        if let Some(loc) = location {
+            divot_telemetry::inc("tamper.detections");
+            divot_telemetry::emit(
+                "tamper.detected",
+                &[
+                    ("location_m", divot_telemetry::Value::from(loc.0)),
+                    (
+                        "onset_s",
+                        divot_telemetry::Value::from(onset.map_or(f64::NAN, |p| p.time)),
+                    ),
+                    ("max_error", divot_telemetry::Value::from(error.peak())),
+                    ("threshold", divot_telemetry::Value::from(threshold)),
+                ],
+            );
+        }
         TamperReport {
             detected: onset.is_some(),
             onset,

@@ -82,6 +82,79 @@ fn analytic_mode_enrollment_is_bitwise_identical() {
 }
 
 #[test]
+fn telemetry_on_vs_off_is_bitwise_identical() {
+    // The divot-telemetry determinism contract: instrumentation is
+    // observe-only, so installing the global registry + event sink must
+    // not change a single bit of any fingerprint, similarity score, or
+    // EER — in either acquisition mode. The baseline runs before the
+    // process-wide install (OnceLock, first call wins), the comparison
+    // after.
+    use divot_core::itdr::AcqMode;
+    use divot_dsp::roc::RocCurve;
+    use divot_dsp::similarity::similarity;
+
+    let fingerprint = |mode: AcqMode| {
+        let itdr = Itdr::new(ItdrConfig::paper().with_acq_mode(mode));
+        itdr.enroll_with(&mut channel(9), 2, ExecPolicy::Parallel)
+    };
+    let eer = |mode: AcqMode| {
+        // A miniature fig-7 batch: two lines, four measurements each,
+        // consecutive genuine pairs and same-index impostor pairs.
+        let itdr = Itdr::new(ItdrConfig::fast().with_acq_mode(mode));
+        let board = Board::fabricate(&BoardConfig::paper_prototype(), 77);
+        let per_line: Vec<Vec<_>> = (0..2)
+            .map(|line| {
+                let mut ch = BusChannel::new(
+                    board.line(line).clone(),
+                    FrontEndConfig::default(),
+                    40 + line as u64,
+                );
+                (0..4)
+                    .map(|_| itdr.measure_with(&mut ch, ExecPolicy::Parallel))
+                    .collect()
+            })
+            .collect();
+        let genuine: Vec<f64> = per_line
+            .iter()
+            .flat_map(|ms| ms.windows(2).map(|p| similarity(&p[0], &p[1])))
+            .collect();
+        let impostor: Vec<f64> = (0..4)
+            .map(|k| similarity(&per_line[0][k], &per_line[1][k]))
+            .collect();
+        RocCurve::from_scores(&genuine, &impostor).eer()
+    };
+
+    assert!(
+        divot_telemetry::global().is_none(),
+        "this test must be the one installing the global telemetry"
+    );
+    let base_trial = fingerprint(AcqMode::Trial);
+    let base_analytic = fingerprint(AcqMode::Analytic);
+    let base_eer_trial = eer(AcqMode::Trial);
+    let base_eer_analytic = eer(AcqMode::Analytic);
+
+    let sink = divot_telemetry::EventSink::to_writer(Box::new(std::io::sink()));
+    divot_telemetry::install(divot_telemetry::Telemetry::with_sink(sink))
+        .expect("first install");
+
+    let on_trial = fingerprint(AcqMode::Trial);
+    let on_analytic = fingerprint(AcqMode::Analytic);
+    assert_bitwise_eq(base_trial.iip(), on_trial.iip());
+    assert_bitwise_eq(base_analytic.iip(), on_analytic.iip());
+    assert_eq!(base_eer_trial.to_bits(), eer(AcqMode::Trial).to_bits());
+    assert_eq!(
+        base_eer_analytic.to_bits(),
+        eer(AcqMode::Analytic).to_bits()
+    );
+
+    // The comparison runs really were instrumented — the identity above
+    // is not vacuous.
+    let t = divot_telemetry::global().expect("installed above");
+    assert!(t.registry().counter("itdr.measurements").get() > 0);
+    assert!(t.registry().counter("itdr.analytic.points").get() > 0);
+}
+
+#[test]
 fn policies_leave_identical_channel_state() {
     let itdr = Itdr::new(ItdrConfig::fast());
     let mut cs = channel(7);

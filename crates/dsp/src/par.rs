@@ -23,6 +23,19 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Record one fan-out in the process-wide telemetry (no-op when none is
+/// installed): `par.fanouts` / `par.items` counters plus the
+/// `par.workers` gauge. Called once per fan-out, never per item, so the
+/// registry lookup stays off the hot path.
+fn note_fanout(items: usize, workers: usize) {
+    if let Some(t) = divot_telemetry::global() {
+        let r = t.registry();
+        r.counter("par.fanouts").inc();
+        r.counter("par.items").add(items as u64);
+        r.gauge("par.workers").set(workers as f64);
+    }
+}
+
 /// Number of worker threads parallel helpers may use: `DIVOT_THREADS` if
 /// set to a positive integer, otherwise the machine's available
 /// parallelism (1 if that cannot be determined).
@@ -60,6 +73,7 @@ where
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    note_fanout(n, workers);
     let next = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -117,6 +131,7 @@ where
             .map(|(i, a)| f(i, a))
             .collect();
     }
+    note_fanout(n, workers);
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
@@ -164,6 +179,7 @@ where
             .map(|(i, (x, y))| f(i, x, y))
             .collect();
     }
+    note_fanout(n, workers);
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = a

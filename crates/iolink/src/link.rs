@@ -13,6 +13,7 @@ use divot_analog::linecode::{expected_trigger_density, LineCode};
 use divot_core::channel::BusChannel;
 use divot_core::itdr::{Itdr, ItdrConfig};
 use divot_core::monitor::{BusMonitor, MonitorConfig, MonitorState};
+use divot_telemetry::Value;
 use divot_txline::scatter::TxLine;
 use divot_txline::units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -179,6 +180,7 @@ impl ProtectedLink {
 
     fn poll_monitors(&mut self) -> Vec<LinkEvent> {
         self.stats.polls += 1;
+        divot_telemetry::inc("iolink.polls");
         self.tx_monitor.poll(&mut self.channel);
         self.rx_monitor.poll(&mut self.channel);
         let trusted = !self.tx_monitor.is_blocking() && !self.rx_monitor.is_blocking();
@@ -187,10 +189,23 @@ impl ProtectedLink {
             (LinkState::Up, false) => {
                 self.state = LinkState::SecurityHalt;
                 events.push(LinkEvent::SecurityHalted);
+                divot_telemetry::inc("iolink.halts");
+                divot_telemetry::emit(
+                    "iolink.security_halt",
+                    &[
+                        ("delivered", Value::from(self.stats.delivered)),
+                        ("exposed", Value::from(self.stats.exposed)),
+                    ],
+                );
             }
             (LinkState::SecurityHalt, true) => {
                 self.state = LinkState::Up;
                 events.push(LinkEvent::Recovered);
+                divot_telemetry::inc("iolink.recoveries");
+                divot_telemetry::emit(
+                    "iolink.recovered",
+                    &[("refused", Value::from(self.stats.refused))],
+                );
             }
             _ => {}
         }
@@ -209,6 +224,7 @@ impl ProtectedLink {
             LinkState::Down => return Err(SendError::LinkDown),
             LinkState::SecurityHalt => {
                 self.stats.refused += 1;
+                divot_telemetry::inc("iolink.frames_refused");
                 return Err(SendError::SecurityHalt);
             }
             LinkState::Up => {}
@@ -226,9 +242,11 @@ impl ProtectedLink {
         // corrupt the frame, it *copies* it.
         if self.wire_tapped() {
             self.stats.exposed += 1;
+            divot_telemetry::inc("iolink.frames_exposed");
         }
         let decoded = Frame::decode(&frame.encode()).expect("clean wire");
         self.stats.delivered += 1;
+        divot_telemetry::inc("iolink.frames_delivered");
         let mut events = vec![LinkEvent::FrameDelivered { seq: decoded.seq }];
 
         self.frames_since_poll += 1;

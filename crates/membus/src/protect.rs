@@ -19,6 +19,7 @@ use divot_core::itdr::{Itdr, ItdrConfig};
 use divot_core::monitor::{BusMonitor, MonitorConfig};
 use divot_txline::attack::Attack;
 use divot_txline::board::{Board, BoardConfig};
+use divot_telemetry::Value;
 use divot_txline::scatter::Network;
 use serde::{Deserialize, Serialize};
 
@@ -254,6 +255,7 @@ impl ProtectedMemorySystem {
 
     fn poll_monitors(&mut self, cycle: u64) {
         let was_reacting = self.reacting();
+        divot_telemetry::inc("membus.polls");
         if self.config.cpu_side {
             self.cpu_monitor.poll(&mut self.channel);
             self.controller.set_stall(self.cpu_monitor.is_blocking());
@@ -270,6 +272,22 @@ impl ProtectedMemorySystem {
             && self.security.reaction_cycle.is_none()
         {
             self.security.reaction_cycle = Some(cycle);
+            divot_telemetry::inc("membus.reactions");
+            divot_telemetry::emit(
+                "membus.reaction",
+                &[
+                    ("cycle", Value::from(cycle)),
+                    (
+                        "attack_cycle",
+                        Value::from(self.security.attack_cycle.unwrap_or(0)),
+                    ),
+                    ("stalled", Value::from(self.controller.stalled())),
+                    (
+                        "gated",
+                        Value::from(self.controller.module().gate_blocked()),
+                    ),
+                ],
+            );
         }
     }
 
@@ -294,6 +312,9 @@ impl ProtectedMemorySystem {
         if let Some(attack_at) = self.security.attack_cycle {
             if self.security.reaction_cycle.is_none() && cycle >= attack_at {
                 self.security.leaked_accesses += done.len() as u64;
+                if !done.is_empty() {
+                    divot_telemetry::add("membus.leaked_accesses", done.len() as u64);
+                }
             }
         }
         self.security.blocked_accesses = self.controller.module().stats().blocked;

@@ -1,0 +1,274 @@
+//! The structured event log: discrete, low-frequency pipeline events
+//! (an auth decision, a tamper detection, an analytic fallback) written
+//! as one JSON object per line.
+//!
+//! The JSON writer is hand-rolled (same approach as the vendored
+//! `criterion` shim) so the crate stays dependency-free. Emission is
+//! best-effort: I/O errors are swallowed at [`EventSink::emit`] time —
+//! observability must never crash the pipeline — and surface at
+//! [`EventSink::flush`].
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A JSON-representable event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as `null`).
+    F64(f64),
+    /// A string (escaped on write).
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_value(out: &mut String, v: &Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => push_escaped(out, s),
+    }
+}
+
+struct SinkInner {
+    writer: Box<dyn Write + Send>,
+    seq: u64,
+    error: Option<io::Error>,
+}
+
+/// A thread-safe JSON-lines event sink.
+///
+/// Each [`EventSink::emit`] writes one object:
+///
+/// ```text
+/// {"seq":17,"event":"tamper.detected","location_m":0.1375,"max_error":3.2e-6}
+/// ```
+///
+/// `seq` is a per-sink monotone sequence number, so interleaved
+/// multi-thread emission stays attributable and re-orderable. There is
+/// deliberately no wall-clock timestamp: event streams from a fixed
+/// seed are then byte-identical across runs, which EXPERIMENTS.md and
+/// CI rely on.
+pub struct EventSink {
+    inner: Mutex<SinkInner>,
+}
+
+impl fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let seq = self.inner.lock().map(|i| i.seq).unwrap_or(0);
+        f.debug_struct("EventSink").field("seq", &seq).finish()
+    }
+}
+
+impl EventSink {
+    /// A sink appending to an arbitrary writer.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            inner: Mutex::new(SinkInner {
+                writer,
+                seq: 0,
+                error: None,
+            }),
+        }
+    }
+
+    /// A sink writing (buffered) to the file at `path`, truncating any
+    /// existing content.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Append one event line. `fields` are rendered in the given order
+    /// after the `seq` and `event` keys. I/O errors are retained (first
+    /// one wins) and reported by [`EventSink::flush`], not here.
+    pub fn emit(&self, event: &str, fields: &[(&str, Value)]) {
+        let mut line = String::with_capacity(64 + fields.len() * 24);
+        let mut inner = self.inner.lock().expect("event sink lock");
+        line.push_str("{\"seq\":");
+        {
+            use std::fmt::Write as _;
+            let _ = write!(line, "{}", inner.seq);
+        }
+        line.push_str(",\"event\":");
+        push_escaped(&mut line, event);
+        for (key, value) in fields {
+            line.push(',');
+            push_escaped(&mut line, key);
+            line.push(':');
+            push_value(&mut line, value);
+        }
+        line.push_str("}\n");
+        inner.seq += 1;
+        if let Err(e) = inner.writer.write_all(line.as_bytes()) {
+            inner.error.get_or_insert(e);
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.inner.lock().expect("event sink lock").seq
+    }
+
+    /// Flush buffered lines to the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit by any earlier [`EventSink::emit`],
+    /// or the flush error itself.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("event sink lock");
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A writer handing everything to a shared buffer (test capture).
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let buf = Shared::default();
+        let sink = EventSink::to_writer(Box::new(buf.clone()));
+        sink.emit(
+            "auth.decision",
+            &[
+                ("accepted", Value::from(true)),
+                ("similarity", Value::from(0.5)),
+                ("lane", Value::from(3u64)),
+            ],
+        );
+        sink.emit("tamper.detected", &[("note", Value::from("a\"b\n"))]);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"event":"auth.decision","accepted":true,"similarity":0.5,"lane":3}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"event":"tamper.detected","note":"a\"b\n"}"#
+        );
+        assert_eq!(sink.emitted(), 2);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let buf = Shared::default();
+        let sink = EventSink::to_writer(Box::new(buf.clone()));
+        sink.emit("x", &[("v", Value::from(f64::NAN))]);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.trim(), r#"{"seq":0,"event":"x","v":null}"#);
+    }
+}

@@ -1,0 +1,79 @@
+//! Span timers: RAII guards that record wall-clock durations into a
+//! latency histogram when dropped.
+//!
+//! Spans only *observe* elapsed time — they never gate work on it — so
+//! they are safe anywhere in the deterministic pipeline. When no global
+//! telemetry is installed, [`SpanTimer::global`] returns a disabled
+//! guard that never reads the clock, so the off state costs one branch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An RAII timer: measures from construction to drop and records the
+/// elapsed seconds into a histogram.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl SpanTimer {
+    /// Time into `hist` from now until drop.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Self {
+            inner: Some((hist, Instant::now())),
+        }
+    }
+
+    /// A timer that records nothing and never reads the clock.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Start a span recording into histogram `name` of the installed
+    /// global telemetry ([`crate::install`]), or a disabled timer when
+    /// none is installed. Prefer the [`crate::span!`] macro at call
+    /// sites.
+    pub fn global(name: &str) -> Self {
+        match crate::global() {
+            Some(t) => Self::new(t.registry().histogram(name)),
+            None => Self::disabled(),
+        }
+    }
+
+    /// Whether this timer will record on drop.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.observe(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_elapsed_seconds_on_drop() {
+        let hist = Arc::new(Histogram::default_latency());
+        {
+            let _span = SpanTimer::new(Arc::clone(&hist));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() >= 0.0);
+    }
+
+    #[test]
+    fn disabled_timer_records_nothing() {
+        let t = SpanTimer::disabled();
+        assert!(!t.is_enabled());
+        drop(t);
+    }
+}

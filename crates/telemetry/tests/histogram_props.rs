@@ -1,0 +1,161 @@
+//! Property tests for the histogram/percentile math (ISSUE 4 satellite):
+//! cumulative-bucket monotonicity, quantile estimates bounded by their
+//! bucket, and exact merge associativity on counts for parallel
+//! aggregation.
+
+use divot_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// A valid strictly-increasing bound list from raw widths.
+fn bounds_from_widths(widths: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    widths
+        .iter()
+        .map(|w| {
+            acc += w.max(1e-9);
+            acc
+        })
+        .collect()
+}
+
+fn filled(bounds: &[f64], values: &[f64]) -> Histogram {
+    let h = Histogram::new(bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cumulative bucket counts (the `le` series render_text exposes)
+    /// are monotone non-decreasing, and the buckets partition the
+    /// observations: totals match exactly.
+    #[test]
+    fn cumulative_counts_are_monotone_and_total(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..12),
+        values in proptest::collection::vec(-5.0f64..120.0, 0..200),
+    ) {
+        let h = filled(&bounds_from_widths(&widths), &values);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.counts.len(), snap.bounds.len() + 1);
+        let mut cumulative = 0u64;
+        for &c in &snap.counts {
+            let next = cumulative + c;
+            prop_assert!(next >= cumulative);
+            cumulative = next;
+        }
+        prop_assert_eq!(cumulative, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Every observation lands in the bucket its value selects under
+    /// `le` semantics: v <= bound, and v > the previous bound.
+    #[test]
+    fn observations_land_in_le_buckets(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..12),
+        value in -5.0f64..120.0,
+    ) {
+        let bounds = bounds_from_widths(&widths);
+        let h = filled(&bounds, &[value]);
+        let snap = h.snapshot();
+        let bucket = snap.counts.iter().position(|&c| c == 1).unwrap();
+        if let Some(&upper) = snap.bounds.get(bucket) {
+            prop_assert!(value <= upper);
+        } else {
+            prop_assert!(value > *snap.bounds.last().unwrap());
+        }
+        if bucket > 0 {
+            prop_assert!(value > snap.bounds[bucket - 1]);
+        }
+    }
+
+    /// p50/p99 (any quantile) lies within the bounds of the bucket that
+    /// contains its target rank: never below the previous bound, never
+    /// above the bucket's own bound (last finite bound for overflow).
+    #[test]
+    fn quantiles_stay_within_their_bucket(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..12),
+        values in proptest::collection::vec(-5.0f64..120.0, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let bounds = bounds_from_widths(&widths);
+        let h = filled(&bounds, &values);
+        for q in [q, 0.5, 0.99] {
+            let est = h.quantile(q).unwrap();
+            // The estimate never leaves the configured bound range.
+            prop_assert!(est >= bounds[0] && est <= *bounds.last().unwrap());
+            // And stays within the specific bucket holding the target rank.
+            let snap = h.snapshot();
+            let total: u64 = snap.counts.iter().sum();
+            let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+            let mut before = 0u64;
+            let mut bucket = snap.counts.len() - 1;
+            for (i, &c) in snap.counts.iter().enumerate() {
+                if before + c >= target {
+                    bucket = i;
+                    break;
+                }
+                before += c;
+            }
+            let upper = snap.bounds.get(bucket).copied()
+                .unwrap_or(*snap.bounds.last().unwrap());
+            let lower = if bucket == 0 { snap.bounds[0] } else { snap.bounds[bucket - 1] };
+            prop_assert!(est >= lower.min(upper) && est <= upper,
+                "q={} est={} bucket=[{}, {}]", q, est, lower, upper);
+        }
+    }
+
+    /// Quantile is monotone in q.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..12),
+        values in proptest::collection::vec(-5.0f64..120.0, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = filled(&bounds_from_widths(&widths), &values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap());
+    }
+
+    /// Merging is associative and commutative on bucket counts —
+    /// exactly, not approximately — so parallel aggregation order can
+    /// never change the rendered counts. Sums are float-additive, so
+    /// they match to rounding only.
+    #[test]
+    fn merge_is_associative_on_counts(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..8),
+        va in proptest::collection::vec(-5.0f64..120.0, 0..60),
+        vb in proptest::collection::vec(-5.0f64..120.0, 0..60),
+        vc in proptest::collection::vec(-5.0f64..120.0, 0..60),
+    ) {
+        let bounds = bounds_from_widths(&widths);
+
+        // (a ⊕ b) ⊕ c
+        let left = filled(&bounds, &va);
+        let b1 = filled(&bounds, &vb);
+        left.merge_from(&b1);
+        left.merge_from(&filled(&bounds, &vc));
+
+        // a ⊕ (b ⊕ c)
+        let bc = filled(&bounds, &vb);
+        bc.merge_from(&filled(&bounds, &vc));
+        let right = filled(&bounds, &va);
+        right.merge_from(&bc);
+
+        // c ⊕ (b ⊕ a): commuted
+        let ba = filled(&bounds, &vb);
+        ba.merge_from(&filled(&bounds, &va));
+        let comm = filled(&bounds, &vc);
+        comm.merge_from(&ba);
+
+        let (sl, sr, sc) = (left.snapshot(), right.snapshot(), comm.snapshot());
+        prop_assert_eq!(&sl.counts, &sr.counts);
+        prop_assert_eq!(&sl.counts, &sc.counts);
+        let span = 1.0 + sl.sum.abs();
+        prop_assert!((sl.sum - sr.sum).abs() <= 1e-9 * span);
+        prop_assert!((sl.sum - sc.sum).abs() <= 1e-9 * span);
+    }
+}

@@ -1,0 +1,37 @@
+//! Snapshot test: `Registry::render_text` is byte-stable across runs
+//! (lexicographic metric order, deterministic number formatting) — the
+//! acceptance criterion for `--metrics-summary` output.
+
+use divot_telemetry::{Histogram, Registry};
+
+#[test]
+fn render_text_snapshot() {
+    let r = Registry::new();
+    // Register deliberately out of order: rendering must sort.
+    r.counter("txline.cache.misses").add(7);
+    r.counter("auth.accepts").add(3);
+    r.gauge("par.workers").set(8.0);
+    let h = r.histogram_with("itdr.measure", || Histogram::new(&[0.001, 0.01, 0.1]));
+    h.observe(0.0005);
+    h.observe(0.05);
+    h.observe(5.0);
+
+    let expected = "\
+# TYPE auth.accepts counter
+auth.accepts 3
+# TYPE itdr.measure histogram
+itdr.measure_bucket{le=\"0.001\"} 1
+itdr.measure_bucket{le=\"0.01\"} 1
+itdr.measure_bucket{le=\"0.1\"} 2
+itdr.measure_bucket{le=\"+Inf\"} 3
+itdr.measure_sum 5.0505
+itdr.measure_count 3
+# TYPE par.workers gauge
+par.workers 8
+# TYPE txline.cache.misses counter
+txline.cache.misses 7
+";
+    assert_eq!(r.render_text(), expected);
+    // Idempotent: a second render is byte-identical.
+    assert_eq!(r.render_text(), expected);
+}

@@ -39,6 +39,7 @@ use crate::impulse::ImpulseResponse;
 use crate::scatter::{Network, SimConfig};
 use crate::units::Seconds;
 use divot_dsp::waveform::Waveform;
+use divot_telemetry::{Counter, Registry, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -62,9 +63,45 @@ impl Network {
     }
 }
 
-/// Counters describing cache effectiveness, for tests and bench reports.
+/// The cache's six effectiveness counters, as prefetched
+/// [`divot_telemetry::Counter`] handles inside one registry: the cache
+/// increments lock-free on its hot path, and the same numbers are
+/// readable both per instance (via [`ResponseCache::stats`] /
+/// [`ResponseCache::registry`]) and — when a process-wide default is
+/// installed via [`divot_telemetry::install`] — aggregated across every
+/// cache under the `txline.cache.*` names.
+#[derive(Debug, Clone)]
+struct CacheCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    engine_runs: Arc<Counter>,
+    renders: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl CacheCounters {
+    fn in_registry(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("txline.cache.hits"),
+            misses: registry.counter("txline.cache.misses"),
+            engine_runs: registry.counter("txline.cache.engine_runs"),
+            renders: registry.counter("txline.cache.renders"),
+            invalidations: registry.counter("txline.cache.invalidations"),
+            evictions: registry.counter("txline.cache.evictions"),
+        }
+    }
+
+    fn global_mirror() -> Option<Self> {
+        divot_telemetry::global().map(|t| Self::in_registry(t.registry()))
+    }
+}
+
+/// A point-in-time reading of a cache's lifetime counters, for tests and
+/// bench reports. Snapshotted from the cache's registry by
+/// [`ResponseCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
+pub struct CacheStatsView {
     /// Lookups served from a cached waveform.
     pub hits: u64,
     /// Lookups that could not be served from the derived-waveform tier.
@@ -85,7 +122,7 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-impl fmt::Display for CacheStats {
+impl fmt::Display for CacheStatsView {
     /// The machine-grepable stats line printed by the benches and quoted in
     /// `EXPERIMENTS.md`:
     /// `hits=… misses=… engine_runs=… renders=… invalidations=… evictions=…`.
@@ -150,7 +187,13 @@ pub struct ResponseCache {
     /// `impulses`.
     derived: HashMap<EnvState, Arc<Waveform>>,
     capacity: usize,
-    stats: CacheStats,
+    /// Per-instance metric registry (`txline.cache.*` counters). Clones
+    /// share it: a cloned cache keeps reporting into the same counters.
+    registry: Arc<Registry>,
+    counters: CacheCounters,
+    /// Prefetched process-wide `txline.cache.*` counters, present when a
+    /// global telemetry default was installed before this cache was built.
+    mirror: Option<CacheCounters>,
 }
 
 impl ResponseCache {
@@ -163,12 +206,24 @@ impl ResponseCache {
     /// An empty cache with an explicit capacity bound (≥ 1) applied to each
     /// tier independently.
     pub fn with_capacity(sim: SimConfig, capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        let counters = CacheCounters::in_registry(&registry);
         Self {
             sim,
             impulses: HashMap::new(),
             derived: HashMap::new(),
             capacity: capacity.max(1),
-            stats: CacheStats::default(),
+            registry,
+            counters,
+            mirror: CacheCounters::global_mirror(),
+        }
+    }
+
+    /// Bump one counter locally and in the process-wide mirror (if any).
+    fn tick(&self, pick: impl Fn(&CacheCounters) -> &Arc<Counter>) {
+        pick(&self.counters).inc();
+        if let Some(mirror) = &self.mirror {
+            pick(mirror).inc();
         }
     }
 
@@ -190,7 +245,7 @@ impl ResponseCache {
         if sim != self.sim {
             self.sim = sim;
             self.derived.clear();
-            self.stats.invalidations += 1;
+            self.tick(|c| &c.invalidations);
         }
     }
 
@@ -218,10 +273,10 @@ impl ResponseCache {
         state: EnvState,
     ) -> Arc<Waveform> {
         if let Some(wf) = self.derived.get(&state) {
-            self.stats.hits += 1;
+            self.tick(|c| &c.hits);
             return Arc::clone(wf);
         }
-        self.stats.misses += 1;
+        self.tick(|c| &c.misses);
         let ir = match self.impulses.get(&state) {
             Some(ir) if ir.supports(&self.sim) => Arc::clone(ir),
             _ => {
@@ -231,21 +286,42 @@ impl ResponseCache {
                     // cap at all means the working set rotated; dropping
                     // everything is simpler than LRU bookkeeping and costs
                     // one re-simulation per live key.
+                    divot_telemetry::emit(
+                        "cache.evict",
+                        &[
+                            ("tier", Value::from("impulse")),
+                            ("entries", Value::from(self.impulses.len())),
+                        ],
+                    );
                     self.impulses.clear();
-                    self.stats.evictions += 1;
+                    self.tick(|c| &c.evictions);
                 }
                 let net = env.apply(base, &state);
-                self.stats.engine_runs += 1;
+                self.tick(|c| &c.engine_runs);
                 let ir = Arc::new(net.impulse_response(&self.sim));
                 self.impulses.insert(state, Arc::clone(&ir));
+                divot_telemetry::emit(
+                    "cache.insert",
+                    &[
+                        ("tier", Value::from("impulse")),
+                        ("entries", Value::from(self.impulses.len())),
+                    ],
+                );
                 ir
             }
         };
         if self.derived.len() >= self.capacity {
+            divot_telemetry::emit(
+                "cache.evict",
+                &[
+                    ("tier", Value::from("derived")),
+                    ("entries", Value::from(self.derived.len())),
+                ],
+            );
             self.derived.clear();
-            self.stats.evictions += 1;
+            self.tick(|c| &c.evictions);
         }
-        self.stats.renders += 1;
+        self.tick(|c| &c.renders);
         let wf = Arc::new(
             ir.render(&self.sim)
                 .expect("impulse response was built (or vetted) for this sim config"),
@@ -261,7 +337,7 @@ impl ResponseCache {
     pub fn invalidate(&mut self) {
         self.impulses.clear();
         self.derived.clear();
-        self.stats.invalidations += 1;
+        self.tick(|c| &c.invalidations);
     }
 
     /// Number of distinct environmental states with a waveform cached for
@@ -288,9 +364,25 @@ impl ResponseCache {
         self.capacity
     }
 
-    /// Lifetime hit/miss/engine-run/render/invalidation/eviction counters.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+    /// A point-in-time reading of the lifetime
+    /// hit/miss/engine-run/render/invalidation/eviction counters,
+    /// snapshotted from this cache's registry.
+    pub fn stats(&self) -> CacheStatsView {
+        CacheStatsView {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            engine_runs: self.counters.engine_runs.get(),
+            renders: self.counters.renders.get(),
+            invalidations: self.counters.invalidations.get(),
+            evictions: self.counters.evictions.get(),
+        }
+    }
+
+    /// This cache's own metric registry (the `txline.cache.*` counters
+    /// behind [`ResponseCache::stats`]), renderable via
+    /// [`Registry::render_text`]. Clones of the cache share it.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 }
 
@@ -481,8 +573,25 @@ mod tests {
     }
 
     #[test]
+    fn per_cache_registry_renders_the_counters() {
+        let mut cache = ResponseCache::new(SimConfig::default());
+        let env = Environment::room();
+        let n = net();
+        let _ = cache.response_at(&n, &env, Seconds(0.0));
+        let _ = cache.response_at(&n, &env, Seconds(1.0));
+        let text = cache.registry().render_text();
+        assert!(text.contains("txline.cache.hits 1"), "{text}");
+        assert!(text.contains("txline.cache.misses 1"), "{text}");
+        assert!(text.contains("txline.cache.engine_runs 1"), "{text}");
+        // A clone shares the same instruments.
+        let clone = cache.clone();
+        let _ = cache.response_at(&n, &env, Seconds(2.0));
+        assert_eq!(clone.stats().hits, 2);
+    }
+
+    #[test]
     fn stats_line_reports_every_counter() {
-        let stats = CacheStats {
+        let stats = CacheStatsView {
             hits: 7,
             misses: 2,
             engine_runs: 1,

@@ -46,3 +46,10 @@ figures:
              detection_latency resource_utilization spoof_resistance; do \
         cargo run --release -p divot-bench --bin $b; \
     done
+
+# Telemetry demo: quick fig-7 run writing a JSONL event log and printing
+# the metric registry at exit (signal catalog: ARCHITECTURE.md).
+telemetry-demo:
+    cargo run --release -p divot-bench --bin fig7_authentication -- \
+        --quick --telemetry /tmp/divot-telemetry.jsonl --metrics-summary
+    @echo "events: /tmp/divot-telemetry.jsonl"
