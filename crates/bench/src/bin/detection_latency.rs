@@ -11,12 +11,12 @@
 //! harness-timing section — simulated results are identical either way).
 
 use divot_analog::linecode::LineCode;
-use divot_bench::{banner, print_metric, BenchCli};
+use divot_bench::{banner, BenchCli, print_claim, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::timing::TimingModel;
 use divot_core::trigger::TriggerSource;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let policy = cli.policy;
     let proto = TimingModel::paper_prototype();
@@ -27,10 +27,7 @@ fn main() {
         "measurement_time_us",
         format!("{:.2}", proto.measurement_time() * 1e6),
     );
-    print_metric(
-        "paper_claim_under_50us",
-        if proto.meets_50us_budget() { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("paper_claim_under_50us", proto.meets_50us_budget());
 
     banner("clock scaling (same instrument, faster buses)");
     println!("clock | measurement_us | note");
@@ -49,10 +46,7 @@ fn main() {
         );
     }
     let ghz = proto.at_clock(1.6e9);
-    print_metric(
-        "ghz_within_memory_op_timeframe",
-        if ghz.measurement_time() < 10e-6 { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("ghz_within_memory_op_timeframe", ghz.measurement_time() < 10e-6);
 
     banner("data-lane triggering (random NRZ/PAM4 traffic, §II-E)");
     println!("source | trigger_rate_Mhz | measurement_us");
@@ -117,4 +111,6 @@ fn main() {
         "avg8_paper_measurement_wall_clock_s",
         format!("{:.3}", started.elapsed().as_secs_f64()),
     );
+
+    cli.finish()
 }

@@ -15,9 +15,7 @@
 //! are bitwise identical either way).
 
 use divot_analog::frontend::FrontEndConfig;
-use divot_bench::{
-    banner, collect_scores_sampled, print_metric, Bench, BenchCli,
-};
+use divot_bench::{banner, Bench, BenchCli, collect_scores_sampled, print_claim, print_metric};
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 use divot_txline::env::Environment;
@@ -30,7 +28,7 @@ struct Condition {
     paper_eer_percent: f64,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let policy = cli.policy;
     let started = std::time::Instant::now();
@@ -120,34 +118,13 @@ fn main() {
             *sd
         }
     };
-    print_metric(
-        "vibration_worst",
-        if degradation("vibration") >= degradation("temperature")
-            && degradation("vibration") >= degradation("room")
-        {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
-    print_metric(
-        "temperature_worse_than_room",
-        if degradation("temperature") >= degradation("room") {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
-    print_metric(
-        "emi_no_degradation",
-        if (eer("emi") - eer("room")).abs() < 0.002 {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
+    print_claim("vibration_worst", degradation("vibration") >= degradation("temperature") && degradation("vibration") >= degradation("room"));
+    print_claim("temperature_worse_than_room", degradation("temperature") >= degradation("room"));
+    print_claim("emi_no_degradation", (eer("emi") - eer("room")).abs() < 0.002);
     print_metric(
         "wall_clock_s",
         format!("{:.2}", started.elapsed().as_secs_f64()),
     );
+
+    cli.finish()
 }

@@ -15,13 +15,12 @@
 //! identical, so the distributions and EER agree within sampling noise).
 
 use divot_bench::{
-    banner, collect_scores_sampled, print_histogram, BenchCli,
-    print_metric, Bench,
+    banner, Bench, BenchCli, collect_scores_sampled, print_claim, print_histogram, print_metric,
 };
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let policy = cli.policy;
     let acq_mode = cli.acq_mode();
@@ -64,14 +63,13 @@ fn main() {
     // The paper's magnified box: FPR below 0.0006 at high TPR.
     let fpr_at_eer = roc.fpr_at(roc.eer_threshold());
     print_metric("fpr_at_eer_threshold", format!("{:.6}", fpr_at_eer));
-    print_metric(
-        "paper_claim_eer_below_0.06pct",
-        if roc.eer() < 0.0006 { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("paper_claim_eer_below_0.06pct", roc.eer() < 0.0006);
     // A subsampled ROC series for plotting.
     let pts = roc.points();
     let stride = (pts.len() / 64).max(1);
     for p in pts.iter().step_by(stride) {
         println!("roc | {:.5} {:.6} {:.6}", p.threshold, p.fpr, p.tpr);
     }
+
+    cli.finish()
 }

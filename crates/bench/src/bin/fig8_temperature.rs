@@ -10,13 +10,13 @@
 //! (set `DIVOT_MEASUREMENTS` to change the per-line measurement count).
 
 use divot_bench::{
-    banner, collect_scores_sampled, print_histogram, print_metric, Bench, BenchCli,
+    banner, Bench, BenchCli, collect_scores_sampled, print_claim, print_histogram, print_metric,
 };
 use divot_dsp::stats::Summary;
 use divot_dsp::RocCurve;
 use divot_txline::env::Environment;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -77,40 +77,14 @@ fn main() {
         "estimated_stretch_ppm",
         format!("{:.0}", Summary::of(&stretches).mean * 1e6),
     );
-    print_metric(
-        "compensation_recovers_similarity",
-        if Summary::of(&comp_scores).mean >= Summary::of(&raw_scores).mean {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
+    print_claim("compensation_recovers_similarity", Summary::of(&comp_scores).mean >= Summary::of(&raw_scores).mean);
 
     banner("paper-shape checks");
     let room_mean = Summary::of(&room_scores.genuine).mean;
     let swing_mean = Summary::of(&oven_scores.genuine).mean;
-    print_metric(
-        "genuine_shifts_left",
-        if swing_mean < room_mean { "HOLDS" } else { "MISSED" },
-    );
-    print_metric(
-        "eer_rises_but_stays_small",
-        if oven_roc.eer() >= room_roc.eer() && oven_roc.eer() < 0.02 {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
-    print_metric(
-        "impostor_barely_moves",
-        if (Summary::of(&oven_scores.impostor).mean
-            - Summary::of(&room_scores.impostor).mean)
-            .abs()
-            < 0.1
-        {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
+    print_claim("genuine_shifts_left", swing_mean < room_mean);
+    print_claim("eer_rises_but_stays_small", oven_roc.eer() >= room_roc.eer() && oven_roc.eer() < 0.02);
+    print_claim("impostor_barely_moves", (Summary::of(&oven_scores.impostor).mean - Summary::of(&room_scores.impostor).mean) .abs() < 0.1);
+
+    cli.finish()
 }

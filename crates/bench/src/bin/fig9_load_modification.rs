@@ -9,11 +9,11 @@
 //! Run: `cargo run --release -p divot-bench --bin fig9_load_modification`
 
 use divot_bench::{
-    banner, print_metric, print_waveform, run_tamper_experiment, Bench, BenchCli,
+    banner, Bench, BenchCli, print_claim, print_metric, print_waveform, run_tamper_experiment,
 };
 use divot_txline::attack::Attack;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let acq_mode = cli.acq_mode();
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
@@ -45,10 +45,7 @@ fn main() {
     // showed the load echo near 3.5 ns.
     if let Some(peak) = exp.attack_report.peak {
         print_metric("error_peak_time_ns", format!("{:.3}", peak.time * 1e9));
-        print_metric(
-            "peak_is_at_termination",
-            if peak.time > 2.9e-9 { "HOLDS" } else { "MISSED" },
-        );
+        print_claim("peak_is_at_termination", peak.time > 2.9e-9);
     }
     print_metric(
         "contrast_attack_over_clean",
@@ -57,4 +54,6 @@ fn main() {
             exp.attack_report.max_error / exp.clean_report.max_error.max(1e-300)
         ),
     );
+
+    cli.finish()
 }

@@ -10,12 +10,12 @@
 //! Run: `cargo run --release -p divot-bench --bin fig9_magnetic_probe`
 
 use divot_bench::{
-    banner, print_metric, print_waveform, run_tamper_experiment, Bench, BenchCli,
+    banner, Bench, BenchCli, print_claim, print_metric, print_waveform, run_tamper_experiment,
 };
 use divot_dsp::similarity::similarity;
 use divot_txline::attack::Attack;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let acq_mode = cli.acq_mode();
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
@@ -28,10 +28,7 @@ fn main() {
     // The probe's IIP change is small: the waveforms stay highly similar.
     let s = similarity(&exp.reference, &exp.attacked);
     print_metric("iip_similarity_with_probe", format!("{s:.4}"));
-    print_metric(
-        "iip_change_is_small",
-        if s > 0.9 { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("iip_change_is_small", s > 0.9);
 
     banner("Fig 9(i): error function");
     print_waveform("exy_no_probe", &exp.clean_report.error, 120);
@@ -56,9 +53,8 @@ fn main() {
     if let Some(loc) = exp.attack_report.location {
         print_metric("onset_location_m", format!("{:.4}", loc.0));
         // Probe at 70 % of the 25 cm line = 17.5 cm.
-        print_metric(
-            "probe_localized",
-            if (loc.0 - 0.175).abs() < 0.035 { "HOLDS" } else { "MISSED" },
-        );
+        print_claim("probe_localized", (loc.0 - 0.175).abs() < 0.035);
     }
+
+    cli.finish()
 }

@@ -9,11 +9,11 @@
 //! Run: `cargo run --release -p divot-bench --bin fig9_wiretap`
 
 use divot_bench::{
-    banner, print_metric, print_waveform, run_tamper_experiment, Bench, BenchCli,
+    banner, Bench, BenchCli, print_claim, print_metric, print_waveform, run_tamper_experiment,
 };
 use divot_txline::attack::Attack;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let acq_mode = cli.acq_mode();
     let bench = Bench::paper_prototype(2020).with_acq_mode(acq_mode);
@@ -38,10 +38,7 @@ fn main() {
     if let Some(loc) = exp.attack_report.location {
         print_metric("onset_location_m", format!("{:.4}", loc.0));
         // The tap sits at 50 % of the 25 cm line = 12.5 cm.
-        print_metric(
-            "located_at_tap",
-            if (loc.0 - 0.125).abs() < 0.03 { "HOLDS" } else { "MISSED" },
-        );
+        print_claim("located_at_tap", (loc.0 - 0.125).abs() < 0.03);
     }
 
     banner("permanent scar after tap removal");
@@ -54,8 +51,7 @@ fn main() {
     let scar_report = exp.detector.scan(fp.iip(), &scarred);
     print_metric("scar_detected", scar_report.detected);
     print_metric("scar_max_error", format!("{:.3e}", scar_report.max_error));
-    print_metric(
-        "damage_is_permanent",
-        if scar_report.detected { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("damage_is_permanent", scar_report.detected);
+
+    cli.finish()
 }

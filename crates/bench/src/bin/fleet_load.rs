@@ -1,0 +1,357 @@
+//! Load benchmark for the `divot-fleet` attestation service: N concurrent
+//! clients hammering verifies against M enrolled buses, comparing
+//! single-worker against 8-worker throughput, measuring p50/p99 latency,
+//! and provoking overload to demonstrate typed shedding.
+//!
+//! Run: `cargo run --release -p divot-bench --bin fleet_load`
+//! (`--quick` runs the CI smoke instead: enroll 8 buses, 64 concurrent
+//! verifies over loopback TCP, zero sheds, all-accept; `--serial` pins the
+//! service to one worker and skips the scaling comparison).
+//!
+//! Full mode writes `BENCH_fleet.json` (path override:
+//! `DIVOT_FLEET_JSON`) in the same shape the vendored criterion shim
+//! emits, so the scaling numbers land next to `BENCH_itdr.json` and
+//! `BENCH_scatter.json`. The ≥4× 8-worker scaling claim is only asserted
+//! when the machine actually has 8 cores to scale onto; on smaller hosts
+//! it is reported but SKIPPED.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use divot_bench::{banner, print_claim, print_metric, BenchCli};
+use divot_fleet::{
+    FleetConfig, FleetError, FleetService, FleetSimConfig, FleetTcpServer, Request, Response,
+    SimulatedFleet, TcpFleetClient,
+};
+
+/// Fleet seed (any fixed value; verdicts are pure in it).
+const SEED: u64 = 2020;
+
+/// One completed verify: request index, verdict, exact similarity bits,
+/// and client-observed latency.
+#[derive(Debug, Clone)]
+struct Sample {
+    index: usize,
+    accepted: bool,
+    bits: u64,
+    latency: Duration,
+}
+
+/// Drive the fixed verify workload (`requests` many, round-robin over
+/// `buses`) from `clients` concurrent in-process client threads against a
+/// service with `workers` workers. Returns the samples in request order
+/// plus the wall-clock of the driving phase.
+fn drive(
+    sim_buses: usize,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+) -> (Vec<Sample>, Duration, usize) {
+    let svc = FleetService::start(
+        FleetConfig::default().with_workers(workers),
+        SimulatedFleet::new(FleetSimConfig::fast(sim_buses, SEED)),
+    );
+    let client = svc.client();
+    for i in 0..sim_buses {
+        client
+            .call(Request::Enroll {
+                device: SimulatedFleet::device_name(i),
+                nonce: 1,
+            })
+            .expect("enroll");
+    }
+    let next = AtomicUsize::new(0);
+    let sheds = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut samples = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let (next, sheds, client) = (&next, &sheds, client.clone());
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= requests {
+                            return mine;
+                        }
+                        let request = Request::Verify {
+                            device: SimulatedFleet::device_name(index % sim_buses),
+                            nonce: 10_000 + index as u64,
+                        };
+                        let t0 = Instant::now();
+                        match client.call(request) {
+                            Ok(Response::Verdict {
+                                accepted,
+                                similarity,
+                                ..
+                            }) => mine.push(Sample {
+                                index,
+                                accepted,
+                                bits: similarity.to_bits(),
+                                latency: t0.elapsed(),
+                            }),
+                            Err(FleetError::Overloaded { .. }) => {
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let elapsed = started.elapsed();
+    samples.sort_by_key(|s| s.index);
+    (samples, elapsed, sheds.load(Ordering::Relaxed))
+}
+
+/// The `q`-quantile (0..=1) of the recorded latencies.
+fn quantile(samples: &[Sample], q: f64) -> Duration {
+    let mut lat: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
+    lat.sort_unstable();
+    let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+    lat[idx.min(lat.len() - 1)]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// CI smoke: 8 buses enrolled over loopback TCP, 64 concurrent verifies
+/// from independent TCP connections; zero sheds and all-accept are hard
+/// claims.
+fn quick_smoke() {
+    const BUSES: usize = 8;
+    const VERIFIES: usize = 64;
+    banner("fleet smoke (loopback TCP)");
+    let svc = FleetService::start(
+        FleetConfig::default(),
+        SimulatedFleet::new(FleetSimConfig::fast(BUSES, SEED)),
+    );
+    let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    print_metric("buses", BUSES);
+    print_metric("concurrent_verifies", VERIFIES);
+    print_metric("listen_addr", addr);
+
+    let mut enroll_client = TcpFleetClient::connect(addr).expect("connect");
+    for i in 0..BUSES {
+        enroll_client
+            .call(&Request::Enroll {
+                device: SimulatedFleet::device_name(i),
+                nonce: 1,
+            })
+            .expect("enroll over TCP");
+    }
+
+    let sheds = AtomicUsize::new(0);
+    let accepts = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for k in 0..VERIFIES {
+            let (sheds, accepts) = (&sheds, &accepts);
+            scope.spawn(move || {
+                let mut c = TcpFleetClient::connect(addr).expect("connect");
+                match c.call(&Request::Verify {
+                    device: SimulatedFleet::device_name(k % BUSES),
+                    nonce: 5_000 + k as u64,
+                }) {
+                    Ok(Response::Verdict { accepted, .. }) => {
+                        if accepted {
+                            accepts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(FleetError::Overloaded { .. }) => {
+                        sheds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            });
+        }
+    });
+    print_metric(
+        "smoke_wall_clock_s",
+        format!("{:.2}", started.elapsed().as_secs_f64()),
+    );
+    print_metric("accepts", accepts.load(Ordering::Relaxed));
+    print_metric("sheds", sheds.load(Ordering::Relaxed));
+    print_claim("smoke_zero_sheds", sheds.load(Ordering::Relaxed) == 0);
+    print_claim(
+        "smoke_all_accept",
+        accepts.load(Ordering::Relaxed) == VERIFIES,
+    );
+}
+
+/// Render the criterion-shim-shaped JSON document.
+fn render_json(
+    buses: usize,
+    requests: usize,
+    runs: &[(usize, &[Sample], Duration)],
+    speedup: Option<f64>,
+    shed_rate: f64,
+) -> String {
+    let mut bench_rows = String::new();
+    let mut metric_rows = String::new();
+    for (i, (workers, samples, elapsed)) in runs.iter().enumerate() {
+        let mean_ns = samples
+            .iter()
+            .map(|s| s.latency.as_nanos() as f64)
+            .sum::<f64>()
+            / samples.len().max(1) as f64;
+        let _ = write!(
+            bench_rows,
+            "{}    \"fleet/verify/workers_{workers}\": \
+             {{\"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+            if i == 0 { "" } else { ",\n" },
+            quantile(samples, 0.5).as_nanos(),
+            mean_ns,
+            samples.len(),
+        );
+        let throughput = samples.len() as f64 / elapsed.as_secs_f64();
+        let _ = write!(
+            metric_rows,
+            "{}    \"fleet/throughput_rps/workers_{workers}\": {throughput:.3},\n    \
+             \"fleet/latency_p50_ms/workers_{workers}\": {},\n    \
+             \"fleet/latency_p99_ms/workers_{workers}\": {}",
+            if i == 0 { "" } else { ",\n" },
+            ms(quantile(samples, 0.5)),
+            ms(quantile(samples, 0.99)),
+        );
+    }
+    let _ = write!(
+        metric_rows,
+        ",\n    \"fleet/buses\": {buses},\n    \"fleet/requests\": {requests}"
+    );
+    if let Some(s) = speedup {
+        let _ = write!(metric_rows, ",\n    \"fleet/speedup_8_over_1\": {s:.3}");
+    }
+    let _ = write!(metric_rows, ",\n    \"fleet/overload_shed_rate\": {shed_rate:.3}");
+    format!("{{\n  \"benchmarks\": {{\n{bench_rows}\n  }},\n  \"metrics\": {{\n{metric_rows}\n  }}\n}}\n")
+}
+
+fn main() -> std::process::ExitCode {
+    let cli = BenchCli::parse();
+    if cli.quick() {
+        quick_smoke();
+        return cli.finish();
+    }
+
+    const BUSES: usize = 64;
+    const REQUESTS: usize = 256;
+    const CLIENTS: usize = 16;
+    let cores = divot_dsp::par::max_threads();
+
+    banner("fleet load setup");
+    print_metric("buses", BUSES);
+    print_metric("requests", REQUESTS);
+    print_metric("client_threads", CLIENTS);
+    print_metric("cores", cores);
+
+    banner("single worker (serial baseline)");
+    let (base, base_elapsed, base_sheds) = drive(BUSES, 1, CLIENTS, REQUESTS);
+    let base_rps = base.len() as f64 / base_elapsed.as_secs_f64();
+    print_metric("throughput_rps", format!("{base_rps:.2}"));
+    print_metric("p50_ms", ms(quantile(&base, 0.5)));
+    print_metric("p99_ms", ms(quantile(&base, 0.99)));
+    print_metric("sheds", base_sheds);
+    print_claim("all_requests_served", base.len() == REQUESTS && base_sheds == 0);
+    print_claim("all_accept", base.iter().all(|s| s.accepted));
+
+    let mut runs: Vec<(usize, Vec<Sample>, Duration)> = vec![(1, base, base_elapsed)];
+    let mut speedup = None;
+    if cli.args.serial {
+        print_metric("scaling_comparison", "skipped (--serial)");
+    } else {
+        banner("8 workers");
+        let (par, par_elapsed, par_sheds) = drive(BUSES, 8, CLIENTS, REQUESTS);
+        let par_rps = par.len() as f64 / par_elapsed.as_secs_f64();
+        print_metric("throughput_rps", format!("{par_rps:.2}"));
+        print_metric("p50_ms", ms(quantile(&par, 0.5)));
+        print_metric("p99_ms", ms(quantile(&par, 0.99)));
+        print_metric("sheds", par_sheds);
+        let s = par_rps / base_rps;
+        print_metric("speedup_8_over_1", format!("{s:.2}"));
+        speedup = Some(s);
+        let identical = runs[0]
+            .1
+            .iter()
+            .zip(par.iter())
+            .all(|(a, b)| a.accepted == b.accepted && a.bits == b.bits);
+        print_claim("verdicts_bitwise_identical_1_vs_8", identical);
+        // 8 workers can only beat 1 worker where there are cores to run
+        // them; the paper-style ≥4× target needs ≥8.
+        if cores >= 8 {
+            print_claim("speedup_at_least_4x", s >= 4.0);
+        } else {
+            print_metric(
+                "speedup_at_least_4x",
+                format!("SKIPPED (needs >=8 cores, have {cores})"),
+            );
+        }
+        runs.push((8, par, par_elapsed));
+    }
+
+    banner("overload (1 worker, queue capacity 4, 48-request burst)");
+    let shed_rate = {
+        let svc = FleetService::start(
+            FleetConfig::default().with_workers(1).with_queue_capacity(4),
+            SimulatedFleet::new(FleetSimConfig::fast(2, SEED)),
+        );
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .expect("enroll");
+        let sheds = AtomicUsize::new(0);
+        let served = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for k in 0..48u64 {
+                let (sheds, served, client) = (&sheds, &served, client.clone());
+                scope.spawn(move || match client.call(Request::Verify {
+                    device: "bus-000".into(),
+                    nonce: 70_000 + k,
+                }) {
+                    Ok(Response::Verdict { .. }) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(FleetError::Overloaded { .. }) => {
+                        sheds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                });
+            }
+        });
+        let (sheds, served) = (sheds.into_inner(), served.into_inner());
+        print_metric("burst_served", served);
+        print_metric("burst_sheds", sheds);
+        print_claim("overload_sheds_typed", sheds > 0 && served > 0);
+        sheds as f64 / 48.0
+    };
+
+    banner("results file");
+    let json = render_json(
+        BUSES,
+        REQUESTS,
+        &runs.iter().map(|(w, s, e)| (*w, s.as_slice(), *e)).collect::<Vec<_>>(),
+        speedup,
+        shed_rate,
+    );
+    let path =
+        std::env::var("DIVOT_FLEET_JSON").unwrap_or_else(|_| "BENCH_fleet.json".to_owned());
+    match std::fs::write(&path, &json) {
+        Ok(()) => print_metric("json_written", &path),
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+
+    cli.finish()
+}

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin iolink_protection`
 
-use divot_bench::{banner, print_metric, BenchCli};
+use divot_bench::{banner, BenchCli, print_claim, print_metric};
 use divot_core::itdr::AcqMode;
 use divot_core::monitor::MonitorConfig;
 use divot_iolink::link::LinkConfig;
@@ -31,7 +31,7 @@ fn config(acq_mode: AcqMode, poll_every_frames: u64, seed: u64) -> LinkSimConfig
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let acq_mode = cli.acq_mode();
     print_metric("acq_mode", acq_mode.label());
@@ -68,10 +68,7 @@ fn main() {
     }]);
     let stats = naked.run();
     print_metric("exposed_frames", stats.exposed);
-    print_metric(
-        "exposure_is_unbounded",
-        if stats.exposed > 1000 { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("exposure_is_unbounded", stats.exposed > 1000);
 
     banner("magnetic (non-contact) probe on the link");
     let mut sim = LinkSim::new(config(acq_mode, 64, 7));
@@ -89,8 +86,7 @@ fn main() {
             .map(|f| f.to_string())
             .unwrap_or_else(|| "never".into()),
     );
-    print_metric(
-        "non_contact_probe_detected",
-        if stats.detection_latency_frames().is_some() { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("non_contact_probe_detected", stats.detection_latency_frames().is_some());
+
+    cli.finish()
 }

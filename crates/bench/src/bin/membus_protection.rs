@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin membus_protection`
 
-use divot_bench::{banner, print_metric, BenchCli};
+use divot_bench::{banner, BenchCli, print_claim, print_metric};
 use divot_core::itdr::{AcqMode, ItdrConfig};
 use divot_core::monitor::MonitorConfig;
 use divot_membus::protect::{ProtectionConfig, ScenarioEvent};
@@ -31,7 +31,7 @@ fn protection(acq_mode: AcqMode) -> ProtectionConfig {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let acq_mode = cli.acq_mode();
     let cycles = 200_000;
@@ -124,8 +124,7 @@ fn main() {
     );
     print_metric("blocked_accesses", stats.blocked_accesses);
     print_metric("leaked_accesses", stats.leaked_accesses);
-    print_metric(
-        "gate_blocks_foreign_cpu",
-        if stats.blocked_accesses > 0 { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("gate_blocks_foreign_cpu", stats.blocked_accesses > 0);
+
+    cli.finish()
 }

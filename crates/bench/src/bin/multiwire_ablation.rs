@@ -13,11 +13,11 @@
 //!
 //! [`Authenticator::verify_fused`]: divot_core::auth::Authenticator::verify_fused
 
-use divot_bench::{banner, collect_scores_sampled, print_metric, Bench, BenchCli};
+use divot_bench::{banner, Bench, BenchCli, collect_scores_sampled, print_claim, print_metric};
 use divot_dsp::rng::DivotRng;
 use divot_dsp::RocCurve;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let measurements: usize = std::env::var("DIVOT_MEASUREMENTS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -55,8 +55,7 @@ fn main() {
 
     banner("paper-shape check");
     let monotone = eers.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9);
-    print_metric(
-        "accuracy_improves_with_lanes",
-        if monotone { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("accuracy_improves_with_lanes", monotone);
+
+    cli.finish()
 }

@@ -7,15 +7,15 @@
 //!
 //! Run: `cargo run --release -p divot-bench --bin resource_utilization`
 
-use divot_bench::{banner, print_metric, BenchCli};
+use divot_bench::{banner, BenchCli, print_claim, print_metric};
 use divot_core::itdr::ItdrConfig;
 use divot_core::resources::{ResourceModel, XCZU7EV};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     // Parsed for CLI uniformity with the other binaries; the resource
     // model reports synthesized hardware, which is identical either way
     // (the analytic path is a simulation-speed device, not a circuit).
-    let _cli = BenchCli::parse();
+    let cli = BenchCli::parse();
     let model = ResourceModel::paper_prototype();
 
     banner("per-detector inventory (prototype)");
@@ -38,14 +38,7 @@ fn main() {
         "shareable_register_fraction",
         format!("{:.1}%", model.shareable_register_fraction() * 100.0),
     );
-    print_metric(
-        "matches_paper_totals",
-        if model.registers() == 71 && model.luts() == 124 {
-            "HOLDS"
-        } else {
-            "MISSED"
-        },
-    );
+    print_claim("matches_paper_totals", model.registers() == 71 && model.luts() == 124);
 
     banner("multi-channel scaling (shared logic instantiated once)");
     println!("channels | registers | LUTs | regs_per_channel | luts_per_channel");
@@ -79,4 +72,6 @@ fn main() {
             format!("{} regs / {} LUTs", derived.registers(), derived.luts()),
         );
     }
+
+    cli.finish()
 }

@@ -24,7 +24,7 @@
 //! (pass `--serial` to disable the parallel acquisition engine — results
 //! are bitwise identical either way).
 
-use divot_bench::{banner, print_metric, Bench, BenchCli};
+use divot_bench::{banner, Bench, BenchCli, print_claim, print_metric};
 use divot_core::auth::AuthPolicy;
 use divot_dsp::rng::DivotRng;
 use divot_dsp::similarity::similarity;
@@ -35,7 +35,7 @@ use divot_txline::units::Meters;
 
 const STRICT_THRESHOLD: f64 = 0.96;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     let policy = cli.policy;
     let acq_mode = cli.acq_mode();
@@ -88,10 +88,7 @@ fn main() {
             best >= STRICT_THRESHOLD
         );
     }
-    print_metric(
-        "lottery_fails_at_strict_threshold",
-        if best < STRICT_THRESHOLD { "HOLDS" } else { "MISSED" },
-    );
+    print_claim("lottery_fails_at_strict_threshold", best < STRICT_THRESHOLD);
 
     banner("strategy 2: precision clone (tolerance x placement resolution)");
     println!("tolerance_pct | resolution_mm | measured_similarity | passes_eer | passes_strict");
@@ -164,4 +161,6 @@ fn main() {
         "wall_clock_s",
         format!("{:.2}", started.elapsed().as_secs_f64()),
     );
+
+    cli.finish()
 }

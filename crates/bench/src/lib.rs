@@ -259,6 +259,23 @@ impl BenchCli {
     pub fn quick(&self) -> bool {
         self.args.quick
     }
+
+    /// Finish the run: consume the CLI (running its [`Drop`] — metric
+    /// summary and telemetry flush — *before* the status is decided) and
+    /// map the claim tally to the process exit code. Binaries with
+    /// [`print_claim`] checks end `main` with `cli.finish()` so a MISSED
+    /// claim fails CI instead of printing and exiting 0.
+    #[must_use = "return this from main so MISSED claims fail the process"]
+    pub fn finish(self) -> std::process::ExitCode {
+        drop(self);
+        let missed = claims_missed();
+        if missed > 0 {
+            eprintln!("error: {missed} paper claim(s) MISSED");
+            std::process::ExitCode::FAILURE
+        } else {
+            std::process::ExitCode::SUCCESS
+        }
+    }
 }
 
 impl Drop for BenchCli {
@@ -428,6 +445,25 @@ pub fn print_metric(key: &str, value: impl std::fmt::Display) {
     println!("{key} = {value}");
 }
 
+/// Number of paper-claim checks that MISSED so far in this process.
+static CLAIMS_MISSED: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Print a paper-claim row (`key = HOLDS` / `key = MISSED`) and record a
+/// miss, so [`BenchCli::finish`] can turn it into a nonzero exit status.
+/// Every figure-reproduction sanity check goes through here: a regression
+/// that flips a claim fails the run instead of scrolling past.
+pub fn print_claim(key: &str, holds: bool) {
+    print_metric(key, if holds { "HOLDS" } else { "MISSED" });
+    if !holds {
+        CLAIMS_MISSED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// How many [`print_claim`] checks have MISSED so far.
+pub fn claims_missed() -> usize {
+    CLAIMS_MISSED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Print a section banner.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");
@@ -497,6 +533,15 @@ mod tests {
         assert!(parse(&["--acq-mode", "analitic"]).unwrap_err().contains("--acq-mode"));
         assert!(parse(&["--serial=1"]).unwrap_err().contains("takes no value"));
         assert!(parse(&["--quick=yes"]).unwrap_err().contains("takes no value"));
+    }
+
+    #[test]
+    fn missed_claims_are_tallied() {
+        let before = claims_missed();
+        print_claim("test_claim_holds", true);
+        assert_eq!(claims_missed(), before, "a HOLDS must not count");
+        print_claim("test_claim_missed", false);
+        assert!(claims_missed() > before, "a MISSED must count");
     }
 
     #[test]

@@ -100,6 +100,16 @@ impl DivotHub {
         (0..self.lanes.len()).map(LaneId)
     }
 
+    /// Iterate over `(id, name)` for every registered lane in
+    /// registration order — the inventory view callers kept rebuilding
+    /// from [`lane_ids`](Self::lane_ids) + [`lane_name`](Self::lane_name).
+    pub fn lanes(&self) -> impl Iterator<Item = (LaneId, &str)> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| (LaneId(i), lane.name.as_str()))
+    }
+
     /// Restore a lane's fingerprint from persistent storage (power-up
     /// path: no re-enrollment needed; see
     /// [`registry`](crate::registry)).
@@ -265,6 +275,28 @@ impl DivotHub {
     }
 }
 
+impl std::fmt::Display for DivotHub {
+    /// Operator-facing inventory: one header line, then one row per lane
+    /// with its id, name, and monitor state.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DivotHub: {} lane(s), {} blocking",
+            self.lanes.len(),
+            self.blocking_lanes().len()
+        )?;
+        for (id, name) in self.lanes() {
+            write!(
+                f,
+                "\n  [{}] {name}: {:?}",
+                id.index(),
+                self.lanes[id.index()].monitor.state()
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +337,35 @@ mod tests {
         hub.calibrate_all(&mut channels);
         assert!(!hub.any_blocking());
         assert!(hub.blocking_lanes().is_empty());
+    }
+
+    #[test]
+    fn lanes_iterator_and_display_inventory() {
+        let (mut hub, mut channels) = setup(3);
+        let inventory: Vec<(usize, String)> = hub
+            .lanes()
+            .map(|(id, name)| (id.index(), name.to_owned()))
+            .collect();
+        assert_eq!(
+            inventory,
+            vec![
+                (0, "lane0".to_owned()),
+                (1, "lane1".to_owned()),
+                (2, "lane2".to_owned())
+            ]
+        );
+        // lanes() agrees with the id/name accessors it replaces.
+        for (id, name) in hub.lanes() {
+            assert_eq!(hub.lane_name(id), name);
+        }
+
+        let before = hub.to_string();
+        assert!(before.starts_with("DivotHub: 3 lane(s), 3 blocking"), "{before}");
+        assert!(before.contains("[1] lane1: Uncalibrated"), "{before}");
+        hub.calibrate_all(&mut channels);
+        let after = hub.to_string();
+        assert!(after.starts_with("DivotHub: 3 lane(s), 0 blocking"), "{after}");
+        assert!(after.contains("[2] lane2: Monitoring"), "{after}");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Property-based tests of the EPROM *bank* codec
+//! ([`FingerprintRegistry::to_bank_bytes`] /
+//! [`FingerprintRegistry::from_bank_bytes`]): random pairings round-trip
+//! exactly, and truncated or corrupted inputs come back as errors, never
+//! panics.
+
+use divot_core::fingerprint::Fingerprint;
+use divot_core::registry::{DecodeBankError, FingerprintRegistry, Pairing};
+use divot_dsp::waveform::Waveform;
+use proptest::prelude::*;
+
+/// A fingerprint already carried through one EPROM encode/decode round,
+/// so it sits exactly on the 16-bit fixed-point lattice: from then on the
+/// codec is lossless and bank round-trips compare with `==`.
+fn quantized_fingerprint(samples: Vec<f64>, dt_ps: f64, enroll: u32) -> Fingerprint {
+    let fp = Fingerprint::new(Waveform::new(0.0, dt_ps * 1e-12, samples), enroll);
+    Fingerprint::from_eprom_bytes(&fp.to_eprom_bytes()).expect("self-encoded image")
+}
+
+/// Strategy: a registry of `1..=buses` random pairings with distinct
+/// printable names and independently sized IIPs.
+fn registry_strategy(buses: usize) -> impl Strategy<Value = FingerprintRegistry> {
+    proptest::collection::vec(
+        (
+            0u32..100_000,
+            proptest::collection::vec(-0.1f64..0.1, 1..64),
+            proptest::collection::vec(-0.1f64..0.1, 1..64),
+            1.0f64..100.0,
+            1u32..500,
+        ),
+        1..(buses + 1),
+    )
+    .prop_map(|entries| {
+        let mut reg = FingerprintRegistry::new();
+        for (i, (tag, master, slave, dt_ps, enroll)) in entries.into_iter().enumerate() {
+            reg.register(
+                format!("bus-{i:02}/{tag:05x}"),
+                Pairing {
+                    master: quantized_fingerprint(master, dt_ps, enroll),
+                    slave: quantized_fingerprint(slave, dt_ps, enroll),
+                },
+            );
+        }
+        reg
+    })
+}
+
+proptest! {
+    #[test]
+    fn bank_round_trips_any_registry(reg in registry_strategy(8)) {
+        let bank = reg.to_bank_bytes();
+        let back = FingerprintRegistry::from_bank_bytes(&bank).expect("own bank must decode");
+        prop_assert_eq!(&back, &reg);
+        // Re-encoding the decoded registry is byte-stable (names are
+        // sorted in the BTreeMap, samples sit on the i16 lattice).
+        prop_assert_eq!(back.to_bank_bytes(), bank);
+    }
+
+    #[test]
+    fn truncated_bank_is_an_error_not_a_panic(
+        reg in registry_strategy(3),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bank = reg.to_bank_bytes();
+        let cut = (bank.len() as f64 * cut_frac) as usize;
+        prop_assume!(cut < bank.len());
+        let err = FingerprintRegistry::from_bank_bytes(&bank[..cut])
+            .expect_err("every strict prefix must be rejected");
+        // The error is typed; Display renders without panicking.
+        let _ = err.to_string();
+    }
+
+    #[test]
+    fn garbage_bank_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = FingerprintRegistry::from_bank_bytes(&bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected(
+        reg in registry_strategy(2),
+        xor in 1u8..255,
+        pos in 0usize..4,
+    ) {
+        let mut bank = reg.to_bank_bytes();
+        bank[pos] ^= xor;
+        prop_assert_eq!(
+            FingerprintRegistry::from_bank_bytes(&bank).expect_err("magic must be checked"),
+            DecodeBankError::BadMagic
+        );
+    }
+}

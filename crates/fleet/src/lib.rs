@@ -1,0 +1,62 @@
+//! Fleet-scale attestation service for DIVOT-protected buses.
+//!
+//! The paper's §IV scaling argument — one shared iTDR datapath
+//! multiplexed across many protected lanes — is modeled inside one chip
+//! by [`DivotHub`](divot_core::hub::DivotHub). This crate lifts that
+//! model to the deployment the PUF-fleet literature envisions (a central
+//! verifier attesting many field devices): a std-only concurrent service
+//! that owns a population of enrolled buses and serves `Enroll`,
+//! `Verify`, `MonitorScan`, and `RegistrySnapshot` requests from many
+//! clients at once.
+//!
+//! The moving parts, one module each:
+//!
+//! - [`store`] — [`FleetStore`]: enrolled pairings
+//!   sharded by device id, one `RwLock` per shard, persisted as
+//!   [`FingerprintRegistry`](divot_core::registry::FingerprintRegistry)
+//!   EPROM bank images with atomic-rename durability.
+//! - [`sim`] — [`SimulatedFleet`]: the physics
+//!   behind the service. Every device is a fabricated Tx-line; every
+//!   acquisition derives its RNG stream from `(device, nonce)`, so the
+//!   service's answers are a pure function of the request — the property
+//!   every concurrency test in this crate leans on.
+//! - [`service`] — [`FleetService`]: a worker
+//!   pool behind a *bounded* admission queue. Overload sheds requests
+//!   with a typed [`FleetError::Overloaded`](error::FleetError) instead
+//!   of buffering without bound; expired deadlines are rejected at
+//!   dequeue; transient acquisition faults retry with deterministic
+//!   jittered backoff.
+//! - [`wire`] — a length-prefixed binary protocol served over
+//!   `std::net::TcpListener`, plus the matching blocking client. The
+//!   in-process [`FleetClient`] and the TCP path
+//!   share one request/response vocabulary.
+//!
+//! # Determinism contract
+//!
+//! Verdicts depend only on `(fleet seed, device, nonce)`: worker count,
+//! queue pressure, request interleaving, and telemetry on/off cannot
+//! change a single bit of any similarity score
+//! (`tests/determinism.rs`). Scheduling decides *when* a request is
+//! answered — or whether it is shed — never *what* the answer is.
+//!
+//! # Telemetry
+//!
+//! With a [`divot_telemetry`] default installed the service exports
+//! `fleet.queue.depth` (gauge), `fleet.request.latency` plus per-kind
+//! latency histograms, `fleet.verify.accepts` / `fleet.verify.rejects`,
+//! `fleet.shed`, `fleet.deadline_misses`, and `fleet.retries`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod service;
+pub mod sim;
+pub mod store;
+pub mod wire;
+
+pub use error::FleetError;
+pub use service::{FleetClient, FleetConfig, FleetService, Request, Response, RetryPolicy};
+pub use sim::{FleetSimConfig, SimulatedFleet};
+pub use store::FleetStore;
+pub use wire::{FleetTcpServer, TcpFleetClient};

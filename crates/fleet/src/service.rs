@@ -1,0 +1,849 @@
+//! The concurrent attestation service: bounded admission, worker pool,
+//! deadlines, retry.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! client ──try_push──▶ [bounded queue] ──pop──▶ worker ──▶ reply channel
+//!            │                                   │
+//!            └─ full → FleetError::Overloaded    ├─ deadline expired →
+//!               (typed shed, never buffered)     │    FleetError::DeadlineExceeded
+//!                                                └─ transient acquisition fault →
+//!                                                     retry with jittered backoff
+//! ```
+//!
+//! Backpressure is enforced at *admission*: when the queue holds
+//! `queue_capacity` jobs, `submit` fails immediately with a typed
+//! [`FleetError::Overloaded`] instead of queueing — overload degrades
+//! into explicit sheds at constant memory, and the latency of accepted
+//! requests stays bounded by `queue_capacity / throughput` instead of
+//! collapsing under an unbounded backlog.
+//!
+//! Scheduling never touches results: verdicts are a pure function of
+//! `(fleet seed, device, nonce)` (see [`crate::sim`]), so any worker
+//! count yields bitwise-identical responses.
+
+use crate::error::FleetError;
+use crate::sim::SimulatedFleet;
+use crate::store::FleetStore;
+use divot_core::auth::{AuthPolicy, Authenticator};
+use divot_core::tamper::{TamperDetector, TamperPolicy};
+use divot_dsp::rng::{mix_seed, DivotRng};
+use divot_telemetry::Value;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A request to the fleet service. Every variant names its device by
+/// string id; `nonce` seeds the request's acquisition noise stream
+/// (a fresh nonce per request models a fresh physical measurement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enroll (or re-enroll) a device: measure both bus ends and store
+    /// the pairing.
+    Enroll {
+        /// Device id.
+        device: String,
+        /// Enrollment noise stream selector.
+        nonce: u64,
+    },
+    /// Authenticate a device against its stored fingerprint.
+    Verify {
+        /// Device id.
+        device: String,
+        /// Acquisition noise stream selector.
+        nonce: u64,
+    },
+    /// Tamper-scan a device: compare a fresh acquisition against the
+    /// stored fingerprint and report threshold crossings.
+    MonitorScan {
+        /// Device id.
+        device: String,
+        /// Acquisition noise stream selector.
+        nonce: u64,
+    },
+    /// List every enrolled device and its shard.
+    RegistrySnapshot,
+}
+
+impl Request {
+    /// Short label of the request kind (telemetry metric names).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Enroll { .. } => "enroll",
+            Self::Verify { .. } => "verify",
+            Self::MonitorScan { .. } => "scan",
+            Self::RegistrySnapshot => "snapshot",
+        }
+    }
+}
+
+/// A successful response from the fleet service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The device is enrolled and its pairing persisted in the store.
+    Enrolled {
+        /// Device id.
+        device: String,
+        /// The shard the pairing landed on.
+        shard: u32,
+    },
+    /// The outcome of a verify.
+    Verdict {
+        /// Device id.
+        device: String,
+        /// Whether the measured IIP matched the enrolled fingerprint.
+        accepted: bool,
+        /// The similarity score behind the decision.
+        similarity: f64,
+    },
+    /// The outcome of a tamper scan.
+    Scan {
+        /// Device id.
+        device: String,
+        /// Whether any error sample exceeded the tamper threshold.
+        detected: bool,
+        /// Largest error observed (noise-floor reading when clean).
+        max_error: f64,
+        /// Estimated tamper distance from the instrumented end, meters.
+        location_m: Option<f64>,
+    },
+    /// The registry listing.
+    Snapshot {
+        /// `(device, shard)` rows, sorted by device name.
+        devices: Vec<(String, u32)>,
+    },
+}
+
+/// Retry policy for transient simulated-acquisition faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Probability that one acquisition attempt faults transiently
+    /// (EMI burst, trigger glitch). `0.0` disables fault injection.
+    pub failure_prob: f64,
+    /// Total attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt; attempt `k` waits
+    /// `base_backoff · 2^(k-1) · (1 + jitter)`.
+    pub base_backoff: Duration,
+    /// Maximum relative jitter added to each backoff (deterministic per
+    /// request — see [`SimulatedFleet::transient_fault`]'s seeding).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            failure_prob: 0.0,
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads; `0` means [`divot_dsp::par::max_threads`].
+    pub workers: usize,
+    /// Admission queue capacity: submissions beyond this are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied to [`FleetClient::call`] submissions.
+    pub default_deadline: Duration,
+    /// Store shard count.
+    pub shards: usize,
+    /// Authentication policy for verifies.
+    pub auth: AuthPolicy,
+    /// Tamper policy floor for monitor scans; enrollment raises each
+    /// device's effective threshold above its measured clean noise floor.
+    pub tamper: TamperPolicy,
+    /// Safety margin between a device's clean noise floor and its
+    /// effective tamper threshold (set at enrollment).
+    pub tamper_margin: f64,
+    /// Transient-fault retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 256,
+            default_deadline: Duration::from_secs(30),
+            shards: 8,
+            // The operating point of the fast-instrument fleet sim
+            // (see `FleetSimConfig::fast`): genuine ≥ 0.92, impostor
+            // ≤ 0.85, so 0.89 splits the gap with margin on both sides.
+            auth: AuthPolicy::with_threshold(0.89),
+            tamper: TamperPolicy::default(),
+            tamper_margin: 4.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The same configuration with an explicit worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The same configuration with an explicit queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    deadline: Instant,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<Response, FleetError>>,
+}
+
+/// Queue state under the mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Shared state between clients and workers.
+struct ServiceInner {
+    config: FleetConfig,
+    sim: SimulatedFleet,
+    store: FleetStore,
+    authenticator: Authenticator,
+    /// Per-device tamper thresholds calibrated at enrollment (derived
+    /// deterministically from the enrollment nonce, so any worker layout
+    /// calibrates identical thresholds). Devices restored from persisted
+    /// banks without re-enrollment fall back to the policy floor.
+    thresholds: std::sync::RwLock<std::collections::HashMap<String, f64>>,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+}
+
+impl ServiceInner {
+    fn note_depth(&self, depth: usize) {
+        divot_telemetry::set_gauge("fleet.queue.depth", depth as f64);
+    }
+
+    /// Admission: push or shed. Never blocks.
+    fn submit(
+        &self,
+        request: Request,
+        deadline: Instant,
+    ) -> Result<mpsc::Receiver<Result<Response, FleetError>>, FleetError> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().expect("queue lock poisoned");
+            if q.closed {
+                return Err(FleetError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.config.queue_capacity {
+                divot_telemetry::inc("fleet.shed");
+                return Err(FleetError::Overloaded {
+                    depth: q.jobs.len(),
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            q.jobs.push_back(Job {
+                request,
+                deadline,
+                submitted: Instant::now(),
+                reply,
+            });
+            self.note_depth(q.jobs.len());
+        }
+        self.not_empty.notify_one();
+        Ok(rx)
+    }
+
+    /// Worker loop: drain jobs until the queue closes.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        self.note_depth(q.jobs.len());
+                        break Some(job);
+                    }
+                    if q.closed {
+                        break None;
+                    }
+                    q = self
+                        .not_empty
+                        .wait(q)
+                        .expect("queue lock poisoned");
+                }
+            };
+            let Some(job) = job else { return };
+            let outcome = if Instant::now() > job.deadline {
+                divot_telemetry::inc("fleet.deadline_misses");
+                Err(FleetError::DeadlineExceeded)
+            } else {
+                self.handle(&job.request)
+            };
+            let elapsed = job.submitted.elapsed().as_secs_f64();
+            divot_telemetry::observe("fleet.request.latency", elapsed);
+            divot_telemetry::observe(
+                &format!("fleet.request.latency.{}", job.request.kind()),
+                elapsed,
+            );
+            // A disconnected receiver just means the caller gave up.
+            let _ = job.reply.send(outcome);
+        }
+    }
+
+    /// Acquire with the transient-fault retry loop: attempt, and on a
+    /// deterministic fault roll sleep a jittered exponential backoff and
+    /// try again up to `max_attempts`.
+    fn acquire_with_retry(
+        &self,
+        device: &str,
+        nonce: u64,
+    ) -> Result<divot_dsp::waveform::Waveform, FleetError> {
+        let retry = self.config.retry;
+        let attempts = retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if self
+                .sim
+                .transient_fault(device, nonce, attempt, retry.failure_prob)
+            {
+                divot_telemetry::inc("fleet.retries");
+                if attempt + 1 < attempts {
+                    std::thread::sleep(self.backoff(device, nonce, attempt));
+                }
+                continue;
+            }
+            return self
+                .sim
+                .acquire(device, nonce)
+                .ok_or_else(|| FleetError::UnknownDevice(device.to_owned()));
+        }
+        divot_telemetry::emit(
+            "fleet.acquisition_failed",
+            &[
+                ("device", Value::from(device)),
+                ("attempts", Value::from(u64::from(attempts))),
+            ],
+        );
+        Err(FleetError::AcquisitionFailed { attempts })
+    }
+
+    /// Jittered exponential backoff before retrying `attempt`: the
+    /// jitter fraction derives from `(device, nonce, attempt)`, so the
+    /// wait schedule is reproducible without being synchronized across
+    /// requests (no thundering herd).
+    fn backoff(&self, device: &str, nonce: u64, attempt: u32) -> Duration {
+        let retry = self.config.retry;
+        let mut rng = DivotRng::derive(
+            mix_seed(nonce, 0xB0FF_0000 | u64::from(attempt)),
+            device.len() as u64,
+        );
+        let jitter = 1.0 + retry.jitter.max(0.0) * rng.uniform();
+        let exp = 1u32 << attempt.min(16);
+        retry.base_backoff.mul_f64(f64::from(exp) * jitter)
+    }
+
+    fn handle(&self, request: &Request) -> Result<Response, FleetError> {
+        match request {
+            Request::Enroll { device, nonce } => {
+                let pairing = self
+                    .sim
+                    .enroll(device, *nonce)
+                    .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
+                // Calibrate the device's tamper threshold against known-
+                // clean acquisitions whose nonces derive from the enroll
+                // nonce: the threshold is a pure function of the request.
+                let cleans: Vec<_> = (1..=4)
+                    .map(|k| {
+                        self.sim
+                            .acquire(device, mix_seed(*nonce, 0xCA11_B000 | k))
+                            .expect("device exists: enrolled above")
+                    })
+                    .collect();
+                let detector = TamperDetector::calibrated(
+                    self.config.tamper,
+                    pairing.master.iip(),
+                    &cleans,
+                    self.config.tamper_margin,
+                );
+                self.thresholds
+                    .write()
+                    .expect("threshold lock poisoned")
+                    .insert(device.clone(), detector.policy().threshold);
+                self.store.register(device, pairing);
+                divot_telemetry::inc("fleet.enrolls");
+                Ok(Response::Enrolled {
+                    device: device.clone(),
+                    shard: self.store.shard_of(device) as u32,
+                })
+            }
+            Request::Verify { device, nonce } => {
+                let measured = self.acquire_with_retry(device, *nonce)?;
+                let decision = self
+                    .store
+                    .with_pairing(device, |p| self.authenticator.verify(&p.master, &measured))
+                    .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
+                divot_telemetry::inc(if decision.is_accept() {
+                    "fleet.verify.accepts"
+                } else {
+                    "fleet.verify.rejects"
+                });
+                Ok(Response::Verdict {
+                    device: device.clone(),
+                    accepted: decision.is_accept(),
+                    similarity: decision.similarity(),
+                })
+            }
+            Request::MonitorScan { device, nonce } => {
+                let measured = self.acquire_with_retry(device, *nonce)?;
+                let threshold = self
+                    .thresholds
+                    .read()
+                    .expect("threshold lock poisoned")
+                    .get(device)
+                    .copied()
+                    .unwrap_or(self.config.tamper.threshold);
+                let detector = TamperDetector::new(TamperPolicy {
+                    threshold,
+                    ..self.config.tamper
+                });
+                let report = self
+                    .store
+                    .with_pairing(device, |p| detector.scan(p.master.iip(), &measured))
+                    .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
+                if report.detected {
+                    divot_telemetry::inc("fleet.scan.detections");
+                }
+                Ok(Response::Scan {
+                    device: device.clone(),
+                    detected: report.detected,
+                    max_error: report.max_error,
+                    location_m: report.location.map(|m| m.0),
+                })
+            }
+            Request::RegistrySnapshot => Ok(Response::Snapshot {
+                devices: self
+                    .store
+                    .device_names()
+                    .into_iter()
+                    .map(|(n, s)| (n, s as u32))
+                    .collect(),
+            }),
+        }
+    }
+}
+
+/// A running fleet service: owns the worker pool; dropping it drains the
+/// queue close signal and joins every worker.
+pub struct FleetService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetService")
+            .field("workers", &self.workers.len())
+            .field("devices", &self.inner.sim.device_count())
+            .field("queue_capacity", &self.inner.config.queue_capacity)
+            .finish()
+    }
+}
+
+impl FleetService {
+    /// Start the service over a simulated fleet with a fresh store.
+    pub fn start(config: FleetConfig, sim: SimulatedFleet) -> Self {
+        let store = FleetStore::new(config.shards.max(1));
+        Self::start_with_store(config, sim, store)
+    }
+
+    /// Start the service over a pre-loaded store (warm restart from
+    /// persisted shard banks).
+    pub fn start_with_store(config: FleetConfig, sim: SimulatedFleet, store: FleetStore) -> Self {
+        let workers = if config.workers == 0 {
+            divot_dsp::par::max_threads()
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(ServiceInner {
+            authenticator: Authenticator::new(config.auth),
+            thresholds: std::sync::RwLock::new(std::collections::HashMap::new()),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            config,
+            sim,
+            store,
+        });
+        divot_telemetry::set_gauge("fleet.workers", workers as f64);
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{i}"))
+                    .spawn(move || inner.work())
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads serving the queue.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// An in-process client handle (cheap to clone, usable from any
+    /// thread).
+    pub fn client(&self) -> FleetClient {
+        FleetClient {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Persist the store's shard banks to `dir` (atomic per shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Io`] on filesystem failures.
+    pub fn persist(&self, dir: &std::path::Path) -> Result<usize, FleetError> {
+        self.inner.store.persist(dir)
+    }
+}
+
+impl Drop for FleetService {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            q.closed = true;
+        }
+        self.inner.not_empty.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An in-process handle for submitting requests to a [`FleetService`].
+#[derive(Clone)]
+pub struct FleetClient {
+    inner: Arc<ServiceInner>,
+}
+
+impl std::fmt::Debug for FleetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetClient")
+            .field("devices", &self.inner.sim.device_count())
+            .finish()
+    }
+}
+
+impl FleetClient {
+    /// Submit and wait, under the service's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FleetError`]: sheds ([`FleetError::Overloaded`]) surface
+    /// immediately, other failures when the worker reports them.
+    pub fn call(&self, request: Request) -> Result<Response, FleetError> {
+        self.call_with_deadline(request, self.inner.config.default_deadline)
+    }
+
+    /// Submit and wait with an explicit deadline measured from now.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FleetError`], including [`FleetError::DeadlineExceeded`]
+    /// when the deadline lapses before a worker dequeues the request.
+    pub fn call_with_deadline(
+        &self,
+        request: Request,
+        deadline: Duration,
+    ) -> Result<Response, FleetError> {
+        let rx = self.inner.submit(request, Instant::now() + deadline)?;
+        rx.recv().unwrap_or(Err(FleetError::ShuttingDown))
+    }
+
+    /// Current queue depth (diagnostics, load generators).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("queue lock poisoned")
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::FleetSimConfig;
+
+    fn service(devices: usize, workers: usize) -> FleetService {
+        FleetService::start(
+            FleetConfig::default().with_workers(workers),
+            SimulatedFleet::new(FleetSimConfig::fast(devices, 7)),
+        )
+    }
+
+    #[test]
+    fn enroll_verify_scan_snapshot_lifecycle() {
+        let svc = service(3, 2);
+        let client = svc.client();
+        for i in 0..3 {
+            let device = SimulatedFleet::device_name(i);
+            match client
+                .call(Request::Enroll {
+                    device: device.clone(),
+                    nonce: 1,
+                })
+                .unwrap()
+            {
+                Response::Enrolled { device: d, .. } => assert_eq!(d, device),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match client
+            .call(Request::Verify {
+                device: "bus-001".into(),
+                nonce: 50,
+            })
+            .unwrap()
+        {
+            Response::Verdict {
+                accepted,
+                similarity,
+                ..
+            } => {
+                assert!(accepted, "genuine device must verify (s={similarity})");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client
+            .call(Request::MonitorScan {
+                device: "bus-002".into(),
+                nonce: 51,
+            })
+            .unwrap()
+        {
+            Response::Scan { detected, .. } => assert!(!detected, "clean bus must scan clean"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(Request::RegistrySnapshot).unwrap() {
+            Response::Snapshot { devices } => {
+                assert_eq!(devices.len(), 3);
+                assert_eq!(devices[0].0, "bus-000");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_before_enroll_is_unknown_device() {
+        let svc = service(1, 1);
+        let err = svc
+            .client()
+            .call(Request::Verify {
+                device: "bus-000".into(),
+                nonce: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice("bus-000".into()));
+        let err = svc
+            .client()
+            .call(Request::Enroll {
+                device: "bus-777".into(),
+                nonce: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice("bus-777".into()));
+    }
+
+    #[test]
+    fn overload_sheds_typed_rejections() {
+        // One worker, tiny queue: a burst must shed rather than buffer.
+        let svc = FleetService::start(
+            FleetConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2),
+            SimulatedFleet::new(FleetSimConfig::fast(1, 7)),
+        );
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        // Saturate: submit far more than capacity without reading replies.
+        let mut receivers = Vec::new();
+        let mut sheds = 0;
+        for nonce in 0..64 {
+            match svc.inner.submit(
+                Request::Verify {
+                    device: "bus-000".into(),
+                    nonce,
+                },
+                Instant::now() + Duration::from_secs(10),
+            ) {
+                Ok(rx) => receivers.push(rx),
+                Err(FleetError::Overloaded { depth, capacity }) => {
+                    assert!(depth >= capacity, "shed below capacity");
+                    sheds += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "a 64-burst against capacity 2 must shed");
+        // Accepted requests complete fine under pressure.
+        for rx in receivers {
+            match rx.recv().unwrap().unwrap() {
+                Response::Verdict { accepted, .. } => assert!(accepted),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_rejected_at_dequeue() {
+        let svc = service(1, 1);
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        // A deadline already in the past must come back DeadlineExceeded.
+        let err = client
+            .call_with_deadline(
+                Request::Verify {
+                    device: "bus-000".into(),
+                    nonce: 2,
+                },
+                Duration::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, FleetError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn transient_faults_retry_and_exhaust() {
+        // Certain failure: every attempt faults, the budget exhausts.
+        let mut config = FleetConfig::default().with_workers(1);
+        config.retry = RetryPolicy {
+            failure_prob: 1.0,
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(10),
+            jitter: 0.5,
+        };
+        let svc = FleetService::start(
+            config,
+            SimulatedFleet::new(FleetSimConfig::fast(1, 7)),
+        );
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        let err = client
+            .call(Request::Verify {
+                device: "bus-000".into(),
+                nonce: 9,
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::AcquisitionFailed { attempts: 3 });
+
+        // Moderate fault rate: retries absorb the faults, verdicts land.
+        let mut config = FleetConfig::default().with_workers(2);
+        config.retry = RetryPolicy {
+            failure_prob: 0.3,
+            max_attempts: 6,
+            base_backoff: Duration::from_micros(10),
+            jitter: 0.5,
+        };
+        let svc = FleetService::start(
+            config,
+            SimulatedFleet::new(FleetSimConfig::fast(1, 7)),
+        );
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        for nonce in 0..16 {
+            match client.call(Request::Verify {
+                device: "bus-000".into(),
+                nonce,
+            }) {
+                Ok(Response::Verdict { accepted, .. }) => assert!(accepted),
+                Ok(other) => panic!("unexpected {other:?}"),
+                Err(e) => panic!("retry should have absorbed faults: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let svc = service(1, 1);
+        let client = svc.client();
+        drop(svc);
+        let err = client.call(Request::RegistrySnapshot).unwrap_err();
+        assert_eq!(err, FleetError::ShuttingDown);
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let svc = service(4, 4);
+        let client = svc.client();
+        for i in 0..4 {
+            client
+                .call(Request::Enroll {
+                    device: SimulatedFleet::device_name(i),
+                    nonce: 1,
+                })
+                .unwrap();
+        }
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|t| {
+                    let client = client.clone();
+                    scope.spawn(move || {
+                        let device = SimulatedFleet::device_name(t % 4);
+                        match client
+                            .call(Request::Verify {
+                                device,
+                                nonce: 1000 + t as u64,
+                            })
+                            .unwrap()
+                        {
+                            Response::Verdict { accepted, .. } => accepted,
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&a| a), "all genuine verifies accept");
+    }
+}

@@ -1,0 +1,264 @@
+//! The simulated device population behind the fleet service.
+//!
+//! Every enrolled "field device" is one fabricated Tx-line (its own
+//! copper, its own process variation) measured by the service's shared
+//! iTDR configuration — the ChipletQuake / PUF-fleet deployment where a
+//! central verifier attests many physically distinct links.
+//!
+//! **Purity is the load-bearing property.** Acquisition state never
+//! persists between requests: each request builds a fresh
+//! [`BusChannel`] whose RNG stream derives from
+//! `(fleet seed, device, nonce, role)`. The answer to a request is
+//! therefore a pure function of the request itself, independent of which
+//! worker serves it, in what order, and under what queue pressure —
+//! which is what lets the service fan requests across any number of
+//! workers and still produce bitwise-identical verdicts.
+
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::channel::BusChannel;
+use divot_core::exec::ExecPolicy;
+use divot_core::itdr::{Itdr, ItdrConfig};
+use divot_core::registry::Pairing;
+use divot_dsp::rng::{mix_seed, DivotRng};
+use divot_dsp::waveform::Waveform;
+use divot_txline::board::{Board, BoardConfig};
+use divot_txline::scatter::TxLine;
+
+/// Seed-derivation domain of the master-end channel.
+const MASTER_DOMAIN: u64 = 0x4D53_5452;
+/// Seed-derivation domain of the slave-end channel.
+const SLAVE_DOMAIN: u64 = 0x534C_4156;
+/// Seed-derivation domain of transient-fault rolls.
+const FAULT_DOMAIN: u64 = 0xFA17_FA17;
+
+/// Configuration of a simulated fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSimConfig {
+    /// Number of field devices (one Tx-line each).
+    pub devices: usize,
+    /// Master fleet seed: fabrication and every per-request stream
+    /// derive from it.
+    pub seed: u64,
+    /// The shared instrument configuration.
+    pub itdr: ItdrConfig,
+    /// Front-end configuration of every device channel.
+    pub frontend: FrontEndConfig,
+    /// Measurements averaged per enrollment.
+    pub enroll_count: usize,
+    /// Measurements averaged per verify/scan acquisition.
+    pub verify_average: usize,
+}
+
+impl FleetSimConfig {
+    /// A small fast-instrument fleet (unit tests, CI smoke, bench).
+    ///
+    /// Enrollment averages 8 measurements and runtime decisions average
+    /// 4: under [`ItdrConfig::fast`] this keeps genuine similarities
+    /// comfortably above and impostor similarities comfortably below the
+    /// fleet's 0.89 operating threshold (measured over 8 devices × 1000
+    /// nonces: genuine ≥ 0.92, impostor ≤ 0.85).
+    pub fn fast(devices: usize, seed: u64) -> Self {
+        Self {
+            devices,
+            seed,
+            itdr: ItdrConfig::fast(),
+            frontend: FrontEndConfig::default(),
+            enroll_count: 8,
+            verify_average: 4,
+        }
+    }
+}
+
+/// One field device of the fleet.
+#[derive(Debug, Clone)]
+struct Device {
+    name: String,
+    line: TxLine,
+}
+
+/// The simulated device population: fabricated lines plus the shared
+/// instrument. All methods take `&self`; per-request channels are local,
+/// so the fleet is freely shared across worker threads.
+#[derive(Debug)]
+pub struct SimulatedFleet {
+    config: FleetSimConfig,
+    devices: Vec<Device>,
+    itdr: Itdr,
+}
+
+impl SimulatedFleet {
+    /// Fabricate the population: devices are packed two per
+    /// [`BoardConfig::small_test`] board, every board seeded from the
+    /// fleet seed, so the same configuration always yields the identical
+    /// fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.devices == 0`.
+    pub fn new(config: FleetSimConfig) -> Self {
+        assert!(config.devices >= 1, "fleet needs at least one device");
+        let board_cfg = BoardConfig::small_test();
+        let per_board = board_cfg.line_count;
+        let boards: Vec<Board> = (0..config.devices.div_ceil(per_board))
+            .map(|b| Board::fabricate(&board_cfg, mix_seed(config.seed, b as u64)))
+            .collect();
+        let devices = (0..config.devices)
+            .map(|i| Device {
+                name: Self::device_name(i),
+                line: boards[i / per_board].line(i % per_board).clone(),
+            })
+            .collect();
+        Self {
+            itdr: Itdr::new(config.itdr),
+            config,
+            devices,
+        }
+    }
+
+    /// The canonical name of device `i` (`bus-000`, `bus-001`, …).
+    pub fn device_name(i: usize) -> String {
+        format!("bus-{i:03}")
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All device names in index order.
+    pub fn device_names(&self) -> Vec<String> {
+        self.devices.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// The configuration this fleet was built with.
+    pub fn config(&self) -> &FleetSimConfig {
+        &self.config
+    }
+
+    fn device(&self, name: &str) -> Option<(usize, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == name)
+    }
+
+    /// A fresh channel onto `device`'s line whose noise stream derives
+    /// from `(fleet seed, device, nonce, domain)`.
+    fn channel(&self, device: &Device, index: usize, domain: u64, nonce: u64) -> BusChannel {
+        let seed = mix_seed(
+            mix_seed(self.config.seed, domain ^ index as u64),
+            nonce,
+        );
+        BusChannel::new(device.line.clone(), self.config.frontend, seed)
+    }
+
+    /// Calibration-time enrollment of `name`: both bus ends enroll over
+    /// the shared instrument (serially — the service already fans out
+    /// across requests). `None` when the device does not exist.
+    pub fn enroll(&self, name: &str, nonce: u64) -> Option<Pairing> {
+        let (i, device) = self.device(name)?;
+        let mut master = self.channel(device, i, MASTER_DOMAIN, nonce);
+        let mut slave = self.channel(device, i, SLAVE_DOMAIN, nonce);
+        Some(Pairing::enroll_with(
+            &self.itdr,
+            &mut master,
+            &mut slave,
+            self.config.enroll_count,
+            ExecPolicy::Serial,
+        ))
+    }
+
+    /// One runtime acquisition from the master end of `name` under
+    /// request `nonce`: the averaged IIP a verify or scan decides on.
+    /// `None` when the device does not exist.
+    pub fn acquire(&self, name: &str, nonce: u64) -> Option<Waveform> {
+        let (i, device) = self.device(name)?;
+        let mut ch = self.channel(device, i, MASTER_DOMAIN, nonce);
+        Some(self.itdr.measure_averaged_with(
+            &mut ch,
+            self.config.verify_average,
+            ExecPolicy::Serial,
+        ))
+    }
+
+    /// Deterministic transient-fault roll for attempt `attempt` of the
+    /// request `(name, nonce)`: `true` with probability `prob`,
+    /// reproducibly — the same attempt of the same request faults
+    /// identically on every worker layout.
+    pub fn transient_fault(&self, name: &str, nonce: u64, attempt: u32, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let Some((i, _)) = self.device(name) else {
+            return false;
+        };
+        let mut rng = DivotRng::derive(
+            mix_seed(self.config.seed, FAULT_DOMAIN ^ i as u64),
+            mix_seed(nonce, u64::from(attempt)),
+        );
+        rng.bernoulli(prob.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(devices: usize) -> SimulatedFleet {
+        SimulatedFleet::new(FleetSimConfig::fast(devices, 99))
+    }
+
+    #[test]
+    fn devices_have_distinct_copper() {
+        let f = fleet(4);
+        assert_eq!(f.device_count(), 4);
+        let a = f.acquire("bus-000", 1).unwrap();
+        let b = f.acquire("bus-001", 1).unwrap();
+        assert_ne!(a, b, "different devices must have different IIPs");
+    }
+
+    #[test]
+    fn acquisition_is_pure_in_the_request() {
+        let f = fleet(2);
+        let a = f.acquire("bus-001", 42).unwrap();
+        let b = f.acquire("bus-001", 42).unwrap();
+        assert_eq!(a, b, "same (device, nonce) → identical acquisition");
+        let c = f.acquire("bus-001", 43).unwrap();
+        assert_ne!(a, c, "a new nonce sees fresh measurement noise");
+    }
+
+    #[test]
+    fn enrolled_pairing_authenticates_the_device() {
+        use divot_core::auth::{AuthPolicy, Authenticator};
+        let f = fleet(2);
+        let pairing = f.enroll("bus-000", 7).unwrap();
+        let auth = Authenticator::new(AuthPolicy::default());
+        let genuine = f.acquire("bus-000", 100).unwrap();
+        assert!(auth.verify(&pairing.master, &genuine).is_accept());
+        let impostor = f.acquire("bus-001", 100).unwrap();
+        assert!(!auth.verify(&pairing.master, &impostor).is_accept());
+    }
+
+    #[test]
+    fn unknown_device_is_none() {
+        let f = fleet(1);
+        assert!(f.enroll("bus-999", 0).is_none());
+        assert!(f.acquire("nope", 0).is_none());
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_and_respect_probability() {
+        let f = fleet(3);
+        for attempt in 0..4 {
+            assert_eq!(
+                f.transient_fault("bus-002", 5, attempt, 0.3),
+                f.transient_fault("bus-002", 5, attempt, 0.3),
+            );
+        }
+        assert!(!f.transient_fault("bus-000", 1, 0, 0.0));
+        let faults = (0..200)
+            .filter(|&n| f.transient_fault("bus-001", n, 0, 0.25))
+            .count();
+        assert!((20..80).contains(&faults), "≈25% expected, got {faults}/200");
+    }
+}

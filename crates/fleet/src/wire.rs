@@ -1,0 +1,641 @@
+//! Length-prefixed binary wire protocol and the TCP transport.
+//!
+//! Framing: every message is `u32` little-endian payload length followed
+//! by the payload; payloads are capped at [`MAX_FRAME`] so a corrupt
+//! length cannot allocate unboundedly. Request payloads carry a version
+//! byte, a deadline in milliseconds (`0` = server default), a tag, and
+//! tag-specific fields; response payloads carry a status byte (`0` ok,
+//! else a [`FleetError::code`]) and the body. Strings are `u16` length +
+//! UTF-8; `f64`s travel as IEEE-754 bit patterns. No serialization
+//! dependency, no allocation beyond the payload buffers.
+//!
+//! The TCP server is a thin adapter: each connection thread decodes
+//! frames, drives the same in-process [`FleetClient`] every local caller
+//! uses, and encodes the result — so the wire path exercises exactly the
+//! admission, deadline, and retry machinery of [`crate::service`].
+
+use crate::error::FleetError;
+use crate::service::{FleetClient, Request, Response};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum frame payload accepted (1 MiB): snapshots of thousands of
+/// devices fit with room to spare.
+pub const MAX_FRAME: usize = 1 << 20;
+/// Wire protocol version.
+pub const WIRE_VERSION: u8 = 1;
+
+const TAG_ENROLL: u8 = 1;
+const TAG_VERIFY: u8 = 2;
+const TAG_SCAN: u8 = 3;
+const TAG_SNAPSHOT: u8 = 4;
+
+const RESP_ENROLLED: u8 = 1;
+const RESP_VERDICT: u8 = 2;
+const RESP_SCAN: u8 = 3;
+const RESP_SNAPSHOT: u8 = 4;
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as `UnexpectedEof`);
+/// rejects frames over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over a payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FleetError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(FleetError::Protocol("truncated payload".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FleetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FleetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FleetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FleetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, FleetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, FleetError> {
+        let n = self.u16()? as usize;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| FleetError::Protocol("string is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), FleetError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FleetError::Protocol("trailing bytes in payload".into()))
+        }
+    }
+}
+
+/// Encode a request plus its deadline (`None` = server default).
+pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    let ms = deadline.map_or(0, |d| d.as_millis().min(u128::from(u32::MAX)) as u32);
+    out.extend_from_slice(&ms.to_le_bytes());
+    match request {
+        Request::Enroll { device, nonce } => {
+            out.push(TAG_ENROLL);
+            put_str(&mut out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::Verify { device, nonce } => {
+            out.push(TAG_VERIFY);
+            put_str(&mut out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::MonitorScan { device, nonce } => {
+            out.push(TAG_SCAN);
+            put_str(&mut out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::RegistrySnapshot => out.push(TAG_SNAPSHOT),
+    }
+    out
+}
+
+/// Decode a request payload into the request and its deadline
+/// (`None` = server default).
+///
+/// # Errors
+///
+/// Returns [`FleetError::Protocol`] on version mismatch, unknown tags,
+/// truncation, or trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<(Request, Option<Duration>), FleetError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(FleetError::Protocol(format!(
+            "unsupported wire version {version}"
+        )));
+    }
+    let ms = c.u32()?;
+    let deadline = (ms > 0).then(|| Duration::from_millis(u64::from(ms)));
+    let tag = c.u8()?;
+    let request = match tag {
+        TAG_ENROLL => Request::Enroll {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_VERIFY => Request::Verify {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_SCAN => Request::MonitorScan {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_SNAPSHOT => Request::RegistrySnapshot,
+        other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
+    };
+    c.finish()?;
+    Ok((request, deadline))
+}
+
+/// Encode a service outcome (success or typed error).
+pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match outcome {
+        Ok(response) => {
+            out.push(0);
+            match response {
+                Response::Enrolled { device, shard } => {
+                    out.push(RESP_ENROLLED);
+                    put_str(&mut out, device);
+                    out.extend_from_slice(&shard.to_le_bytes());
+                }
+                Response::Verdict {
+                    device,
+                    accepted,
+                    similarity,
+                } => {
+                    out.push(RESP_VERDICT);
+                    put_str(&mut out, device);
+                    out.push(u8::from(*accepted));
+                    out.extend_from_slice(&similarity.to_bits().to_le_bytes());
+                }
+                Response::Scan {
+                    device,
+                    detected,
+                    max_error,
+                    location_m,
+                } => {
+                    out.push(RESP_SCAN);
+                    put_str(&mut out, device);
+                    out.push(u8::from(*detected));
+                    out.extend_from_slice(&max_error.to_bits().to_le_bytes());
+                    match location_m {
+                        Some(m) => {
+                            out.push(1);
+                            out.extend_from_slice(&m.to_bits().to_le_bytes());
+                        }
+                        None => out.push(0),
+                    }
+                }
+                Response::Snapshot { devices } => {
+                    out.push(RESP_SNAPSHOT);
+                    out.extend_from_slice(&(devices.len() as u32).to_le_bytes());
+                    for (name, shard) in devices {
+                        put_str(&mut out, name);
+                        out.extend_from_slice(&shard.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Err(err) => {
+            out.push(err.code());
+            match err {
+                FleetError::Overloaded { depth, capacity } => {
+                    out.extend_from_slice(&(*depth as u32).to_le_bytes());
+                    out.extend_from_slice(&(*capacity as u32).to_le_bytes());
+                }
+                FleetError::AcquisitionFailed { attempts } => {
+                    out.extend_from_slice(&attempts.to_le_bytes());
+                }
+                FleetError::UnknownDevice(d) => put_str(&mut out, d),
+                FleetError::Protocol(m) | FleetError::Io(m) => put_str(&mut out, m),
+                FleetError::DeadlineExceeded | FleetError::ShuttingDown => {}
+            }
+        }
+    }
+    out
+}
+
+/// Decode a response payload back into the service outcome.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Protocol`] on malformed payloads (a decoded
+/// *typed* service error comes back as `Ok(Err(...))`'s inner value —
+/// i.e. the function returns `Err` with the decoded error, which is the
+/// outcome the server reported).
+pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
+    let mut c = Cursor::new(payload);
+    let status = c.u8()?;
+    if status != 0 {
+        let err = match status {
+            1 => FleetError::Overloaded {
+                depth: c.u32()? as usize,
+                capacity: c.u32()? as usize,
+            },
+            2 => FleetError::DeadlineExceeded,
+            3 => FleetError::UnknownDevice(c.string()?),
+            4 => FleetError::AcquisitionFailed { attempts: c.u32()? },
+            5 => FleetError::ShuttingDown,
+            6 => FleetError::Protocol(c.string()?),
+            7 => FleetError::Io(c.string()?),
+            other => FleetError::Protocol(format!("unknown error code {other}")),
+        };
+        c.finish()?;
+        return Err(err);
+    }
+    let tag = c.u8()?;
+    let response = match tag {
+        RESP_ENROLLED => Response::Enrolled {
+            device: c.string()?,
+            shard: c.u32()?,
+        },
+        RESP_VERDICT => Response::Verdict {
+            device: c.string()?,
+            accepted: c.u8()? != 0,
+            similarity: c.f64()?,
+        },
+        RESP_SCAN => Response::Scan {
+            device: c.string()?,
+            detected: c.u8()? != 0,
+            max_error: c.f64()?,
+            location_m: if c.u8()? != 0 { Some(c.f64()?) } else { None },
+        },
+        RESP_SNAPSHOT => {
+            let n = c.u32()? as usize;
+            let mut devices = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let name = c.string()?;
+                devices.push((name, c.u32()?));
+            }
+            Response::Snapshot { devices }
+        }
+        other => {
+            return Err(FleetError::Protocol(format!(
+                "unknown response tag {other}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(response)
+}
+
+/// A TCP front end for a fleet service: accepts connections on a
+/// loopback (or any) address and serves frames until dropped.
+pub struct FleetTcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetTcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetTcpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl FleetTcpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting connections, serving each on its own thread via
+    /// the given in-process client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(client: FleetClient, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("fleet-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let client = client.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("fleet-conn".into())
+                        .spawn(move || serve_connection(stream, &client));
+                }
+            })?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (query the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FleetTcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve one connection: request frame in, response frame out, until the
+/// peer hangs up or a transport error occurs.
+fn serve_connection(mut stream: TcpStream, client: &FleetClient) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // EOF or broken pipe: peer is done.
+        };
+        divot_telemetry::inc("fleet.tcp.frames");
+        let outcome = match decode_request(&payload) {
+            Ok((request, Some(deadline))) => client.call_with_deadline(request, deadline),
+            Ok((request, None)) => client.call(request),
+            Err(e) => Err(e),
+        };
+        if write_frame(&mut stream, &encode_response(&outcome)).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking TCP client speaking the fleet wire protocol.
+#[derive(Debug)]
+pub struct TcpFleetClient {
+    stream: TcpStream,
+}
+
+impl TcpFleetClient {
+    /// Connect to a [`FleetTcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Issue one request under the server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Typed service errors come back as received; transport failures
+    /// surface as [`FleetError::Io`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, FleetError> {
+        self.call_with_deadline_opt(request, None)
+    }
+
+    /// Issue one request with an explicit deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`call`](Self::call).
+    pub fn call_with_deadline(
+        &mut self,
+        request: &Request,
+        deadline: Duration,
+    ) -> Result<Response, FleetError> {
+        self.call_with_deadline_opt(request, Some(deadline))
+    }
+
+    fn call_with_deadline_opt(
+        &mut self,
+        request: &Request,
+        deadline: Option<Duration>,
+    ) -> Result<Response, FleetError> {
+        write_frame(&mut self.stream, &encode_request(request, deadline))?;
+        let payload = read_frame(&mut self.stream)?;
+        decode_response(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request, deadline: Option<Duration>) {
+        let bytes = encode_request(&request, deadline);
+        let (back, d) = decode_request(&bytes).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(d, deadline);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(
+            Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 7,
+            },
+            None,
+        );
+        round_trip_request(
+            Request::Verify {
+                device: "bus-012".into(),
+                nonce: u64::MAX,
+            },
+            Some(Duration::from_millis(1500)),
+        );
+        round_trip_request(
+            Request::MonitorScan {
+                device: "ünïcode-bus".into(),
+                nonce: 0,
+            },
+            Some(Duration::from_millis(1)),
+        );
+        round_trip_request(Request::RegistrySnapshot, None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Enrolled {
+                device: "bus-000".into(),
+                shard: 3,
+            },
+            Response::Verdict {
+                device: "bus-001".into(),
+                accepted: true,
+                similarity: 0.987654321,
+            },
+            Response::Scan {
+                device: "bus-002".into(),
+                detected: true,
+                max_error: 1.25e-3,
+                location_m: Some(0.125),
+            },
+            Response::Scan {
+                device: "bus-003".into(),
+                detected: false,
+                max_error: 1e-5,
+                location_m: None,
+            },
+            Response::Snapshot {
+                devices: vec![("bus-000".into(), 0), ("bus-001".into(), 5)],
+            },
+        ];
+        for response in cases {
+            let bytes = encode_response(&Ok(response.clone()));
+            assert_eq!(decode_response(&bytes).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn similarity_bits_survive_the_wire_exactly() {
+        // The determinism tests compare verdicts bitwise across local
+        // and TCP paths, so the f64 encoding must be exact — including
+        // awkward values.
+        for s in [0.1 + 0.2, f64::MIN_POSITIVE, 1.0 - f64::EPSILON] {
+            let response = Response::Verdict {
+                device: "b".into(),
+                accepted: true,
+                similarity: s,
+            };
+            match decode_response(&encode_response(&Ok(response))).unwrap() {
+                Response::Verdict { similarity, .. } => {
+                    assert_eq!(similarity.to_bits(), s.to_bits());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let cases = [
+            FleetError::Overloaded {
+                depth: 9,
+                capacity: 8,
+            },
+            FleetError::DeadlineExceeded,
+            FleetError::UnknownDevice("ghost".into()),
+            FleetError::AcquisitionFailed { attempts: 5 },
+            FleetError::ShuttingDown,
+            FleetError::Protocol("bad tag".into()),
+            FleetError::Io("broken pipe".into()),
+        ];
+        for err in cases {
+            let bytes = encode_response(&Err(err.clone()));
+            assert_eq!(decode_response(&bytes).unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_protocol_errors() {
+        assert!(matches!(
+            decode_request(&[]),
+            Err(FleetError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_request(&[99, 0, 0, 0, 0, TAG_SNAPSHOT]),
+            Err(FleetError::Protocol(msg)) if msg.contains("version")
+        ));
+        // Unknown tag.
+        assert!(matches!(
+            decode_request(&[WIRE_VERSION, 0, 0, 0, 0, 200]),
+            Err(FleetError::Protocol(msg)) if msg.contains("tag")
+        ));
+        // Trailing garbage.
+        let mut bytes = encode_request(&Request::RegistrySnapshot, None);
+        bytes.push(0);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(FleetError::Protocol(msg)) if msg.contains("trailing")
+        ));
+        // Truncations of a valid request all fail cleanly.
+        let bytes = encode_request(
+            &Request::Verify {
+                device: "bus-000".into(),
+                nonce: 1,
+            },
+            Some(Duration::from_millis(10)),
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_request(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+
+        // A corrupt length header cannot cause a huge allocation.
+        let mut bad = (MAX_FRAME as u32 + 1).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0; 8]);
+        assert!(read_frame(&mut &bad[..]).is_err());
+    }
+}

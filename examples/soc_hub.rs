@@ -28,6 +28,7 @@ fn main() {
         .collect();
 
     hub.calibrate_all(&mut channels);
+    println!("{hub}");
     let (regs, luts) = hub.resource_estimate();
     println!(
         "{lanes} buses protected with {regs} registers / {luts} LUTs \
@@ -40,10 +41,10 @@ fn main() {
 
     // Persist the pairings to the EPROM bank (per §III, no secrecy needed).
     let mut registry = FingerprintRegistry::new();
-    for id in hub.lane_ids() {
+    for (id, name) in hub.lanes() {
         let fp = hub.lane_monitor(id).fingerprint().expect("calibrated").clone();
         registry.register(
-            hub.lane_name(id).to_owned(),
+            name.to_owned(),
             Pairing {
                 master: fp.clone(),
                 slave: fp,

@@ -39,6 +39,18 @@ bench-scatter:
 bench-itdr:
     CRITERION_JSON="$(pwd)/BENCH_itdr.json" cargo bench -p divot-bench --bench itdr
 
+# Fleet attestation smoke: enroll 8 buses, 64 concurrent verifies over
+# loopback TCP; zero sheds and all-accept are hard claims (nonzero exit
+# on a MISS).
+fleet-demo:
+    cargo run --release -p divot-bench --bin fleet_load -- --quick
+
+# Full fleet load benchmark: 64 buses, 16 concurrent clients, 1-worker
+# vs 8-worker comparison plus the overload/shedding phase. Writes
+# BENCH_fleet.json (throughput, p50/p99, shed rate) at the repo root.
+bench-fleet:
+    cargo run --release -p divot-bench --bin fleet_load
+
 # Regenerate every paper figure/claim output into results/.
 figures:
     for b in fig7_authentication fig8_temperature fig9_load_modification \
