@@ -1,32 +1,44 @@
 //! Load benchmark for the `divot-fleet` attestation service: N concurrent
-//! clients hammering verifies against M enrolled buses, comparing
-//! single-worker against 8-worker throughput, measuring p50/p99 latency,
-//! and provoking overload to demonstrate typed shedding.
+//! clients hammering verifies against M enrolled buses, in two phases per
+//! worker count — **cold** (every request is new: memoized fabrication
+//! serves the boards, the acquisition engine runs per request) and
+//! **warm** (the identical request list replayed: every verdict is a
+//! cache hit) — comparing single-worker against 8-worker throughput,
+//! measuring per-phase p50/p99 latency, and provoking overload to
+//! demonstrate typed shedding.
 //!
 //! Run: `cargo run --release -p divot-bench --bin fleet_load`
 //! (`--quick` runs the CI smoke instead: enroll 8 buses, 64 concurrent
-//! verifies over loopback TCP, zero sheds, all-accept; `--serial` pins the
-//! service to one worker and skips the scaling comparison).
+//! verifies over loopback TCP, plus an in-process 1-vs-8-worker scaling
+//! gate; `--serial` pins the service to one worker and skips the scaling
+//! comparison).
 //!
 //! Full mode writes `BENCH_fleet.json` (path override:
 //! `DIVOT_FLEET_JSON`) in the same shape the vendored criterion shim
 //! emits, so the scaling numbers land next to `BENCH_itdr.json` and
-//! `BENCH_scatter.json`. The ≥4× 8-worker scaling claim is only asserted
-//! when the machine actually has 8 cores to scale onto; on smaller hosts
-//! it is reported but SKIPPED.
+//! `BENCH_scatter.json`. Scaling claims are only asserted when the
+//! machine has cores to scale onto (the ≥4× 8-worker target needs ≥8
+//! cores, the ≥1× floor needs ≥2); on smaller hosts they are reported
+//! but SKIPPED. The warm-path latency target (p50 < 2 ms) is asserted
+//! unconditionally — a cache hit does not need cores.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use divot_bench::{banner, print_claim, print_metric, BenchCli};
+use divot_core::itdr::AcqMode;
 use divot_fleet::{
-    FleetConfig, FleetError, FleetService, FleetSimConfig, FleetTcpServer, Request, Response,
-    SimulatedFleet, TcpFleetClient,
+    FleetClient, FleetConfig, FleetError, FleetService, FleetSimConfig, FleetTcpServer, Request,
+    Response, SimulatedFleet, TcpFleetClient,
 };
 
 /// Fleet seed (any fixed value; verdicts are pure in it).
 const SEED: u64 = 2020;
+
+/// Nonce base of the verify workload; cold and warm phases replay the
+/// *same* nonces, which is what makes warm a pure cache-hit phase.
+const NONCE_BASE: u64 = 10_000;
 
 /// One completed verify: request index, verdict, exact similarity bits,
 /// and client-observed latency.
@@ -38,29 +50,47 @@ struct Sample {
     latency: Duration,
 }
 
-/// Drive the fixed verify workload (`requests` many, round-robin over
-/// `buses`) from `clients` concurrent in-process client threads against a
-/// service with `workers` workers. Returns the samples in request order
-/// plus the wall-clock of the driving phase.
-fn drive(
-    sim_buses: usize,
-    workers: usize,
-    clients: usize,
-    requests: usize,
-) -> (Vec<Sample>, Duration, usize) {
-    let svc = FleetService::start(
-        FleetConfig::default().with_workers(workers),
-        SimulatedFleet::new(FleetSimConfig::fast(sim_buses, SEED)),
-    );
-    let client = svc.client();
-    for i in 0..sim_buses {
-        client
-            .call(Request::Enroll {
-                device: SimulatedFleet::device_name(i),
-                nonce: 1,
-            })
-            .expect("enroll");
+/// One measured phase: its samples (request order) plus wall clock and
+/// shed count.
+struct Phase {
+    samples: Vec<Sample>,
+    elapsed: Duration,
+    sheds: usize,
+}
+
+impl Phase {
+    fn rps(&self) -> f64 {
+        self.samples.len() as f64 / self.elapsed.as_secs_f64()
     }
+
+    fn report(&self, requests: usize) {
+        print_metric("throughput_rps", format!("{:.2}", self.rps()));
+        print_metric("p50_ms", ms(quantile(&self.samples, 0.5)));
+        print_metric("p99_ms", ms(quantile(&self.samples, 0.99)));
+        print_metric("sheds", self.sheds);
+        print_claim(
+            "all_requests_served",
+            self.samples.len() == requests && self.sheds == 0,
+        );
+        print_claim("all_accept", self.samples.iter().all(|s| s.accepted));
+    }
+
+    fn bits(&self) -> Vec<(bool, u64)> {
+        self.samples.iter().map(|s| (s.accepted, s.bits)).collect()
+    }
+}
+
+/// Both phases of one worker configuration.
+struct Run {
+    workers: usize,
+    cold: Phase,
+    warm: Phase,
+}
+
+/// Drive the fixed verify workload (`requests` many, round-robin over
+/// `buses`, nonces `NONCE_BASE + index`) from `clients` concurrent
+/// client threads. Returns samples in request order.
+fn drive_phase(client: &FleetClient, buses: usize, clients: usize, requests: usize) -> Phase {
     let next = AtomicUsize::new(0);
     let sheds = AtomicUsize::new(0);
     let started = Instant::now();
@@ -76,8 +106,8 @@ fn drive(
                             return mine;
                         }
                         let request = Request::Verify {
-                            device: SimulatedFleet::device_name(index % sim_buses),
-                            nonce: 10_000 + index as u64,
+                            device: SimulatedFleet::device_name(index % buses),
+                            nonce: NONCE_BASE + index as u64,
                         };
                         let t0 = Instant::now();
                         match client.call(request) {
@@ -107,7 +137,38 @@ fn drive(
     });
     let elapsed = started.elapsed();
     samples.sort_by_key(|s| s.index);
-    (samples, elapsed, sheds.load(Ordering::Relaxed))
+    Phase {
+        samples,
+        elapsed,
+        sheds: sheds.load(Ordering::Relaxed),
+    }
+}
+
+/// Start a `workers`-worker service over `buses` enrolled devices and
+/// drive the cold phase (fresh service, every request new) followed by
+/// the warm phase (the identical request list — pure verdict-cache
+/// hits).
+fn run_workers(workers: usize, buses: usize, clients: usize, requests: usize) -> Run {
+    let svc = FleetService::start(
+        FleetConfig::default().with_workers(workers),
+        SimulatedFleet::new(FleetSimConfig::fast(buses, SEED)),
+    );
+    let client = svc.client();
+    for i in 0..buses {
+        client
+            .call(Request::Enroll {
+                device: SimulatedFleet::device_name(i),
+                nonce: 1,
+            })
+            .expect("enroll");
+    }
+    let cold = drive_phase(&client, buses, clients, requests);
+    let warm = drive_phase(&client, buses, clients, requests);
+    Run {
+        workers,
+        cold,
+        warm,
+    }
 }
 
 /// The `q`-quantile (0..=1) of the recorded latencies.
@@ -123,8 +184,9 @@ fn ms(d: Duration) -> String {
 }
 
 /// CI smoke: 8 buses enrolled over loopback TCP, 64 concurrent verifies
-/// from independent TCP connections; zero sheds and all-accept are hard
-/// claims.
+/// from independent TCP connections (zero sheds, all-accept are hard
+/// claims) — then an in-process 1-vs-8-worker scaling gate on the same
+/// workload shape, asserted only where there are cores to scale onto.
 fn quick_smoke() {
     const BUSES: usize = 8;
     const VERIFIES: usize = 64;
@@ -185,50 +247,91 @@ fn quick_smoke() {
         "smoke_all_accept",
         accepts.load(Ordering::Relaxed) == VERIFIES,
     );
+
+    banner("fleet smoke (worker scaling gate)");
+    let cores = divot_dsp::par::max_threads();
+    print_metric("cores", cores);
+    let one = run_workers(1, BUSES, 8, VERIFIES);
+    let eight = run_workers(8, BUSES, 8, VERIFIES);
+    let speedup = eight.cold.rps() / one.cold.rps();
+    print_metric("cold_rps_workers_1", format!("{:.2}", one.cold.rps()));
+    print_metric("cold_rps_workers_8", format!("{:.2}", eight.cold.rps()));
+    print_metric("speedup_8_over_1", format!("{speedup:.2}"));
+    print_metric("warm_p50_ms_workers_1", ms(quantile(&one.warm.samples, 0.5)));
+    print_claim(
+        "smoke_verdicts_bitwise_identical_1_vs_8",
+        one.cold.bits() == eight.cold.bits() && one.warm.bits() == eight.warm.bits(),
+    );
+    print_claim(
+        "smoke_warm_p50_under_2ms",
+        quantile(&one.warm.samples, 0.5) < Duration::from_millis(2),
+    );
+    // 8 workers can only beat 1 worker where a second core exists to run
+    // them: on a single-core host the gate is reported, not asserted.
+    if cores >= 2 {
+        print_claim("smoke_speedup_not_inverted", speedup >= 1.0);
+    } else {
+        print_metric(
+            "smoke_speedup_not_inverted",
+            format!("SKIPPED (needs >=2 cores, have {cores})"),
+        );
+    }
 }
 
 /// Render the criterion-shim-shaped JSON document.
 fn render_json(
     buses: usize,
     requests: usize,
-    runs: &[(usize, &[Sample], Duration)],
-    speedup: Option<f64>,
+    cores: usize,
+    runs: &[Run],
+    cold_speedup: Option<f64>,
+    warm_speedup: Option<f64>,
     shed_rate: f64,
 ) -> String {
     let mut bench_rows = String::new();
     let mut metric_rows = String::new();
-    for (i, (workers, samples, elapsed)) in runs.iter().enumerate() {
-        let mean_ns = samples
-            .iter()
-            .map(|s| s.latency.as_nanos() as f64)
-            .sum::<f64>()
-            / samples.len().max(1) as f64;
-        let _ = write!(
-            bench_rows,
-            "{}    \"fleet/verify/workers_{workers}\": \
-             {{\"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
-            if i == 0 { "" } else { ",\n" },
-            quantile(samples, 0.5).as_nanos(),
-            mean_ns,
-            samples.len(),
-        );
-        let throughput = samples.len() as f64 / elapsed.as_secs_f64();
-        let _ = write!(
-            metric_rows,
-            "{}    \"fleet/throughput_rps/workers_{workers}\": {throughput:.3},\n    \
-             \"fleet/latency_p50_ms/workers_{workers}\": {},\n    \
-             \"fleet/latency_p99_ms/workers_{workers}\": {}",
-            if i == 0 { "" } else { ",\n" },
-            ms(quantile(samples, 0.5)),
-            ms(quantile(samples, 0.99)),
-        );
+    let mut first = true;
+    for run in runs {
+        for (phase_name, phase) in [("cold", &run.cold), ("warm", &run.warm)] {
+            let workers = run.workers;
+            let mean_ns = phase
+                .samples
+                .iter()
+                .map(|s| s.latency.as_nanos() as f64)
+                .sum::<f64>()
+                / phase.samples.len().max(1) as f64;
+            let _ = write!(
+                bench_rows,
+                "{}    \"fleet/verify/{phase_name}/workers_{workers}\": \
+                 {{\"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                if first { "" } else { ",\n" },
+                quantile(&phase.samples, 0.5).as_nanos(),
+                mean_ns,
+                phase.samples.len(),
+            );
+            let _ = write!(
+                metric_rows,
+                "{}    \"fleet/{phase_name}/throughput_rps/workers_{workers}\": {:.3},\n    \
+                 \"fleet/{phase_name}/latency_p50_ms/workers_{workers}\": {},\n    \
+                 \"fleet/{phase_name}/latency_p99_ms/workers_{workers}\": {}",
+                if first { "" } else { ",\n" },
+                phase.rps(),
+                ms(quantile(&phase.samples, 0.5)),
+                ms(quantile(&phase.samples, 0.99)),
+            );
+            first = false;
+        }
     }
     let _ = write!(
         metric_rows,
-        ",\n    \"fleet/buses\": {buses},\n    \"fleet/requests\": {requests}"
+        ",\n    \"fleet/buses\": {buses},\n    \"fleet/requests\": {requests},\n    \
+         \"fleet/cores\": {cores}"
     );
-    if let Some(s) = speedup {
+    if let Some(s) = cold_speedup {
         let _ = write!(metric_rows, ",\n    \"fleet/speedup_8_over_1\": {s:.3}");
+    }
+    if let Some(s) = warm_speedup {
+        let _ = write!(metric_rows, ",\n    \"fleet/warm/speedup_8_over_1\": {s:.3}");
     }
     let _ = write!(metric_rows, ",\n    \"fleet/overload_shed_rate\": {shed_rate:.3}");
     format!("{{\n  \"benchmarks\": {{\n{bench_rows}\n  }},\n  \"metrics\": {{\n{metric_rows}\n  }}\n}}\n")
@@ -252,55 +355,77 @@ fn main() -> std::process::ExitCode {
     print_metric("client_threads", CLIENTS);
     print_metric("cores", cores);
 
-    banner("single worker (serial baseline)");
-    let (base, base_elapsed, base_sheds) = drive(BUSES, 1, CLIENTS, REQUESTS);
-    let base_rps = base.len() as f64 / base_elapsed.as_secs_f64();
-    print_metric("throughput_rps", format!("{base_rps:.2}"));
-    print_metric("p50_ms", ms(quantile(&base, 0.5)));
-    print_metric("p99_ms", ms(quantile(&base, 0.99)));
-    print_metric("sheds", base_sheds);
-    print_claim("all_requests_served", base.len() == REQUESTS && base_sheds == 0);
-    print_claim("all_accept", base.iter().all(|s| s.accepted));
+    banner("single worker, cold phase (every request new)");
+    let base = run_workers(1, BUSES, CLIENTS, REQUESTS);
+    base.cold.report(REQUESTS);
+    banner("single worker, warm phase (identical requests replayed)");
+    base.warm.report(REQUESTS);
+    print_claim(
+        "verdicts_bitwise_identical_cold_vs_warm",
+        base.cold.bits() == base.warm.bits(),
+    );
+    print_claim(
+        "warm_p50_under_2ms",
+        quantile(&base.warm.samples, 0.5) < Duration::from_millis(2),
+    );
 
-    let mut runs: Vec<(usize, Vec<Sample>, Duration)> = vec![(1, base, base_elapsed)];
-    let mut speedup = None;
+    let mut runs: Vec<Run> = vec![base];
+    let mut cold_speedup = None;
+    let mut warm_speedup = None;
     if cli.args.serial {
         print_metric("scaling_comparison", "skipped (--serial)");
     } else {
-        banner("8 workers");
-        let (par, par_elapsed, par_sheds) = drive(BUSES, 8, CLIENTS, REQUESTS);
-        let par_rps = par.len() as f64 / par_elapsed.as_secs_f64();
-        print_metric("throughput_rps", format!("{par_rps:.2}"));
-        print_metric("p50_ms", ms(quantile(&par, 0.5)));
-        print_metric("p99_ms", ms(quantile(&par, 0.99)));
-        print_metric("sheds", par_sheds);
-        let s = par_rps / base_rps;
-        print_metric("speedup_8_over_1", format!("{s:.2}"));
-        speedup = Some(s);
-        let identical = runs[0]
-            .1
-            .iter()
-            .zip(par.iter())
-            .all(|(a, b)| a.accepted == b.accepted && a.bits == b.bits);
-        print_claim("verdicts_bitwise_identical_1_vs_8", identical);
+        banner("8 workers, cold phase");
+        let par = run_workers(8, BUSES, CLIENTS, REQUESTS);
+        par.cold.report(REQUESTS);
+        banner("8 workers, warm phase");
+        par.warm.report(REQUESTS);
+        let sc = par.cold.rps() / runs[0].cold.rps();
+        let sw = par.warm.rps() / runs[0].warm.rps();
+        print_metric("cold_speedup_8_over_1", format!("{sc:.2}"));
+        print_metric("warm_speedup_8_over_1", format!("{sw:.2}"));
+        cold_speedup = Some(sc);
+        warm_speedup = Some(sw);
+        print_claim(
+            "verdicts_bitwise_identical_1_vs_8",
+            runs[0].cold.bits() == par.cold.bits() && runs[0].warm.bits() == par.warm.bits(),
+        );
+        print_claim(
+            "verdicts_bitwise_identical_cold_vs_warm_8",
+            par.cold.bits() == par.warm.bits(),
+        );
         // 8 workers can only beat 1 worker where there are cores to run
-        // them; the paper-style ≥4× target needs ≥8.
+        // them; the paper-style ≥4× target needs ≥8, the no-inversion
+        // floor needs ≥2.
         if cores >= 8 {
-            print_claim("speedup_at_least_4x", s >= 4.0);
+            print_claim("speedup_at_least_4x", sc >= 4.0);
         } else {
             print_metric(
                 "speedup_at_least_4x",
                 format!("SKIPPED (needs >=8 cores, have {cores})"),
             );
         }
-        runs.push((8, par, par_elapsed));
+        if cores >= 2 {
+            print_claim("speedup_not_inverted", sc >= 1.0);
+        } else {
+            print_metric(
+                "speedup_not_inverted",
+                format!("SKIPPED (needs >=2 cores, have {cores})"),
+            );
+        }
+        runs.push(par);
     }
 
     banner("overload (1 worker, queue capacity 4, 48-request burst)");
+    // Trial-mode acquisition keeps each verify expensive enough that a
+    // burst of *new* requests genuinely overruns one worker — the shed
+    // path under test is admission control, not the verdict cache.
     let shed_rate = {
         let svc = FleetService::start(
             FleetConfig::default().with_workers(1).with_queue_capacity(4),
-            SimulatedFleet::new(FleetSimConfig::fast(2, SEED)),
+            SimulatedFleet::new(
+                FleetSimConfig::fast(2, SEED).with_acq_mode(AcqMode::Trial),
+            ),
         );
         let client = svc.client();
         client
@@ -339,8 +464,10 @@ fn main() -> std::process::ExitCode {
     let json = render_json(
         BUSES,
         REQUESTS,
-        &runs.iter().map(|(w, s, e)| (*w, s.as_slice(), *e)).collect::<Vec<_>>(),
-        speedup,
+        cores,
+        &runs,
+        cold_speedup,
+        warm_speedup,
         shed_rate,
     );
     let path =

@@ -22,7 +22,7 @@ use divot_analog::frontend::{FrontEnd, FrontEndConfig};
 use divot_dsp::rng::mix_seed;
 use divot_dsp::waveform::Waveform;
 use divot_txline::attack::Attack;
-use divot_txline::env::Environment;
+use divot_txline::env::{EnvState, Environment};
 use divot_txline::response::{CacheStatsView, ResponseCache};
 use divot_txline::scatter::{EdgeShape, Network, SimConfig, TxLine};
 use divot_txline::units::Seconds;
@@ -84,6 +84,7 @@ pub struct BusChannel {
     trigger_period: f64,
     response_cache: ResponseCache,
     table_cache: HashMap<u32, Arc<ReconstructionTable>>,
+    schedule_cache: HashMap<u32, Arc<Vec<(f64, u32)>>>,
     seed: u64,
     measurements_taken: u64,
 }
@@ -118,6 +119,7 @@ impl BusChannel {
             trigger_period,
             response_cache: ResponseCache::new(sim),
             table_cache: HashMap::new(),
+            schedule_cache: HashMap::new(),
             seed,
             measurements_taken: 0,
         }
@@ -193,6 +195,56 @@ impl BusChannel {
         Arc::clone(self.table_cache.entry(repetitions).or_insert_with(|| {
             Arc::new(ReconstructionTable::build(&effective_cdf(&cfg), repetitions))
         }))
+    }
+
+    /// The PDM distinct-level schedule for `repetitions` triggers per
+    /// point (the analytic acquisition plan), built from this channel's
+    /// front-end model and cached.
+    ///
+    /// Shared handle for the same reason as
+    /// [`reconstruction_table`](Self::reconstruction_table): the schedule
+    /// is a pure function of `(front-end config, repetitions)`, so one
+    /// build serves every measurement batch — and pre-seeded channels
+    /// (see [`seed_level_schedule`](Self::seed_level_schedule)) never
+    /// build it at all.
+    pub fn level_schedule(&mut self, repetitions: u32) -> Arc<Vec<(f64, u32)>> {
+        let cfg = *self.frontend.config();
+        Arc::clone(
+            self.schedule_cache
+                .entry(repetitions)
+                .or_insert_with(|| Arc::new(cfg.level_schedule(repetitions))),
+        )
+    }
+
+    /// Pre-seed the response cache with an already-computed back-reflection
+    /// waveform for environment state `state`.
+    ///
+    /// Warm-start path for populations of identical channels (one
+    /// engine run per device, shared by every per-request channel — see
+    /// the fleet service). The seeded waveform must be what the channel
+    /// would compute for that state; since the scattering engine is
+    /// deterministic, seeding with another channel's result for the same
+    /// `(network, environment, drive)` preserves bitwise-identical
+    /// measurements.
+    pub fn seed_response(&mut self, state: EnvState, response: Arc<Waveform>) {
+        self.response_cache.seed_waveform(state, response);
+    }
+
+    /// Pre-seed the reconstruction-table cache with a shared ROM.
+    ///
+    /// The table keys on its own repetition count. Like
+    /// [`seed_response`](Self::seed_response) this only skips a
+    /// deterministic rebuild: the table is a pure function of
+    /// `(front-end config, repetitions)`.
+    pub fn seed_reconstruction_table(&mut self, table: Arc<ReconstructionTable>) {
+        self.table_cache.insert(table.repetitions(), table);
+    }
+
+    /// Pre-seed the analytic level-schedule cache for `repetitions`
+    /// triggers per point (pure function of the front-end config, so a
+    /// shared build is bitwise-equivalent to a local one).
+    pub fn seed_level_schedule(&mut self, repetitions: u32, schedule: Arc<Vec<(f64, u32)>>) {
+        self.schedule_cache.insert(repetitions, schedule);
     }
 
     /// The cached back-reflection response for the current instant,

@@ -375,7 +375,7 @@ impl Itdr {
         }
         let analytic_plan = (wants_analytic && analytic_supported).then(|| {
             (
-                channel.frontend_config().level_schedule(self.config.repetitions),
+                channel.level_schedule(self.config.repetitions),
                 GaussHermite::new(JITTER_QUAD_ORDER),
             )
         });
@@ -392,9 +392,14 @@ impl Itdr {
         let volts = policy.run_indexed(count * n_points, |idx| {
             let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
             match &analytic_plan {
-                Some((schedule, quad)) => {
-                    self.point_voltage_analytic(ctx, &table, schedule, quad, tel.as_ref(), n)
-                }
+                Some((schedule, quad)) => self.point_voltage_analytic(
+                    ctx,
+                    &table,
+                    schedule.as_slice(),
+                    quad,
+                    tel.as_ref(),
+                    n,
+                ),
                 None => self.point_voltage(ctx, &table, tel.as_ref(), n),
             }
         });

@@ -1,0 +1,274 @@
+//! Two-tier memoization of fleet verdicts.
+//!
+//! A verify (or scan) verdict is a pure function of
+//! `(fleet seed, device, nonce)` and of the pairing enrolled at the
+//! time — so once a request has been answered, answering it again is a
+//! lookup, not an engine run. The cache has two tiers:
+//!
+//! - **L1** ([`WorkerTier`]): owned by one worker thread, completely
+//!   lock-free. Repeat traffic that lands on the same worker never
+//!   touches shared state.
+//! - **L2** ([`TwoTierCache`]): shared across workers behind an
+//!   `RwLock`. An L2 hit is promoted into the querying worker's L1, so
+//!   hot devices migrate into every worker's private tier.
+//!
+//! **Invalidation is by construction, not by walk.** Cache keys embed
+//! the store's per-shard *enrollment generation*
+//! ([`crate::store::FleetStore::generation`]): re-enrolling a device
+//! bumps its shard's generation, so every verdict memoized under the
+//! old pairing simply never matches again. No tier is ever scanned for
+//! stale entries.
+//!
+//! **Determinism is preserved exactly.** Only successful responses are
+//! cached, and a cached response is bit-for-bit the response the
+//! worker computed on first serve — so whether a request hits L1, L2,
+//! or misses entirely, the client observes the identical bytes.
+//! Transient-fault rolls are deterministic per `(device, nonce,
+//! attempt)`, which means a request that succeeded once can never fault
+//! on a repeat: serving it from cache skips only work whose outcome is
+//! already forced.
+//!
+//! Both tiers evict wholesale when full (the same idiom as the
+//! response cache in `divot-txline`): verdicts are tiny, capacities are
+//! generous, and a rare full drop keeps the no-LRU-bookkeeping fast
+//! path honest. Capacity 0 disables the cache entirely — the
+//! determinism suite uses that to A/B cached against uncached runs.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// What kind of decision a cached verdict answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerdictKind {
+    /// An authentication verify.
+    Verify,
+    /// A tamper monitor scan.
+    Scan,
+}
+
+/// The identity of one memoizable decision.
+///
+/// `generation` is the enrollment generation of the device's store
+/// shard at lookup time; a re-enrollment (or removal) advances it,
+/// orphaning every key minted under the previous pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// Decision kind (verify and scan verdicts never alias).
+    pub kind: VerdictKind,
+    /// Device index in the simulated fleet (stable for its lifetime).
+    pub device: u32,
+    /// Store-shard enrollment generation the verdict was computed under.
+    pub generation: u64,
+    /// The request nonce.
+    pub nonce: u64,
+}
+
+/// A worker's private L1 tier: plain map, no locks, owned by exactly
+/// one worker thread.
+#[derive(Debug, Default)]
+pub struct WorkerTier<V> {
+    map: HashMap<VerdictKey, V>,
+}
+
+impl<V> WorkerTier<V> {
+    /// An empty tier.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of memoized verdicts in this tier.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tier holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The shared L2 tier plus the lookup/store protocol across both tiers.
+///
+/// ```
+/// use divot_fleet::cache::{TwoTierCache, VerdictKey, VerdictKind, WorkerTier};
+///
+/// let cache: TwoTierCache<&'static str> = TwoTierCache::new(64);
+/// let mut l1 = WorkerTier::new();
+/// let key = VerdictKey {
+///     kind: VerdictKind::Verify,
+///     device: 3,
+///     generation: 1,
+///     nonce: 42,
+/// };
+/// assert_eq!(cache.lookup(&mut l1, &key), None);
+/// cache.store(&mut l1, key, "accepted");
+/// // Hits L1 on this worker…
+/// assert_eq!(cache.lookup(&mut l1, &key), Some("accepted"));
+/// // …and L2 (then L1) on any other worker.
+/// let mut other_l1 = WorkerTier::new();
+/// assert_eq!(cache.lookup(&mut other_l1, &key), Some("accepted"));
+/// assert_eq!(other_l1.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TwoTierCache<V> {
+    shared: RwLock<HashMap<VerdictKey, V>>,
+    /// Per-tier entry budget; 0 disables the cache.
+    capacity: usize,
+}
+
+impl<V: Clone> TwoTierCache<V> {
+    /// A cache with `capacity` entries per tier. `0` disables caching:
+    /// every lookup misses silently and every store is a no-op (no
+    /// telemetry either, so disabled runs count zero `fleet.cache.*`).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shared: RwLock::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Whether the cache is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of entries in the shared L2 tier.
+    pub fn shared_len(&self) -> usize {
+        self.shared.read().expect("verdict cache poisoned").len()
+    }
+
+    /// Look `key` up: the caller's L1 first, then shared L2 (promoting
+    /// a hit into L1). Emits `fleet.cache.{l1_hits,l2_hits,misses}`.
+    pub fn lookup(&self, l1: &mut WorkerTier<V>, key: &VerdictKey) -> Option<V> {
+        if !self.enabled() {
+            return None;
+        }
+        if let Some(v) = l1.map.get(key) {
+            divot_telemetry::inc("fleet.cache.l1_hits");
+            return Some(v.clone());
+        }
+        let from_shared = self
+            .shared
+            .read()
+            .expect("verdict cache poisoned")
+            .get(key)
+            .cloned();
+        match from_shared {
+            Some(v) => {
+                divot_telemetry::inc("fleet.cache.l2_hits");
+                Self::insert_bounded(&mut l1.map, self.capacity, *key, v.clone());
+                Some(v)
+            }
+            None => {
+                divot_telemetry::inc("fleet.cache.misses");
+                None
+            }
+        }
+    }
+
+    /// Memoize `value` under `key` in both the caller's L1 and the
+    /// shared L2.
+    pub fn store(&self, l1: &mut WorkerTier<V>, key: VerdictKey, value: V) {
+        if !self.enabled() {
+            return;
+        }
+        Self::insert_bounded(&mut l1.map, self.capacity, key, value.clone());
+        let mut shared = self.shared.write().expect("verdict cache poisoned");
+        Self::insert_bounded(&mut shared, self.capacity, key, value);
+    }
+
+    /// Insert with wholesale eviction: a full map is cleared rather than
+    /// LRU-tracked (counted in `fleet.cache.evictions`).
+    fn insert_bounded(map: &mut HashMap<VerdictKey, V>, capacity: usize, key: VerdictKey, v: V) {
+        if map.len() >= capacity && !map.contains_key(&key) {
+            map.clear();
+            divot_telemetry::inc("fleet.cache.evictions");
+        }
+        map.insert(key, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(device: u32, generation: u64, nonce: u64) -> VerdictKey {
+        VerdictKey {
+            kind: VerdictKind::Verify,
+            device,
+            generation,
+            nonce,
+        }
+    }
+
+    #[test]
+    fn miss_then_l1_hit() {
+        let cache = TwoTierCache::new(16);
+        let mut l1 = WorkerTier::new();
+        assert_eq!(cache.lookup(&mut l1, &key(0, 0, 1)), None);
+        cache.store(&mut l1, key(0, 0, 1), 7u64);
+        assert_eq!(cache.lookup(&mut l1, &key(0, 0, 1)), Some(7));
+        assert_eq!(l1.len(), 1);
+        assert_eq!(cache.shared_len(), 1);
+    }
+
+    #[test]
+    fn l2_hit_promotes_into_other_workers_l1() {
+        let cache = TwoTierCache::new(16);
+        let mut a = WorkerTier::new();
+        let mut b = WorkerTier::new();
+        cache.store(&mut a, key(1, 0, 5), "v");
+        assert!(b.is_empty());
+        assert_eq!(cache.lookup(&mut b, &key(1, 0, 5)), Some("v"));
+        assert_eq!(b.len(), 1, "L2 hit must promote into L1");
+    }
+
+    #[test]
+    fn generation_change_orphans_old_entries() {
+        let cache = TwoTierCache::new(16);
+        let mut l1 = WorkerTier::new();
+        cache.store(&mut l1, key(2, 0, 9), true);
+        // Same device and nonce under the next enrollment generation:
+        // clean miss, the stale verdict can never be served.
+        assert_eq!(cache.lookup(&mut l1, &key(2, 1, 9)), None);
+        assert_eq!(cache.lookup(&mut l1, &key(2, 0, 9)), Some(true));
+    }
+
+    #[test]
+    fn kinds_do_not_alias() {
+        let cache = TwoTierCache::new(16);
+        let mut l1 = WorkerTier::new();
+        let verify = key(0, 0, 1);
+        let scan = VerdictKey {
+            kind: VerdictKind::Scan,
+            ..verify
+        };
+        cache.store(&mut l1, verify, 1u8);
+        assert_eq!(cache.lookup(&mut l1, &scan), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = TwoTierCache::new(0);
+        let mut l1 = WorkerTier::new();
+        assert!(!cache.enabled());
+        cache.store(&mut l1, key(0, 0, 1), 1u8);
+        assert_eq!(cache.lookup(&mut l1, &key(0, 0, 1)), None);
+        assert!(l1.is_empty());
+        assert_eq!(cache.shared_len(), 0);
+    }
+
+    #[test]
+    fn full_tier_evicts_wholesale() {
+        let cache = TwoTierCache::new(2);
+        let mut l1 = WorkerTier::new();
+        cache.store(&mut l1, key(0, 0, 1), 1u8);
+        cache.store(&mut l1, key(0, 0, 2), 2u8);
+        cache.store(&mut l1, key(0, 0, 3), 3u8);
+        assert_eq!(l1.len(), 1, "third insert clears the full tier first");
+        assert_eq!(cache.lookup(&mut l1, &key(0, 0, 3)), Some(3));
+        assert_eq!(cache.lookup(&mut l1, &key(0, 0, 1)), None);
+    }
+}

@@ -26,6 +26,10 @@
 //!   of buffering without bound; expired deadlines are rejected at
 //!   dequeue; transient acquisition faults retry with deterministic
 //!   jittered backoff.
+//! - [`cache`] — [`TwoTierCache`](cache::TwoTierCache): verdict
+//!   memoization behind the verify fast path. L1 is per-worker and
+//!   lock-free, L2 is shared; keys embed the store's enrollment
+//!   generation so re-enrollment invalidates without a cache walk.
 //! - [`wire`] — a length-prefixed binary protocol served over
 //!   `std::net::TcpListener`, plus the matching blocking client. The
 //!   in-process [`FleetClient`] and the TCP path
@@ -44,11 +48,14 @@
 //! With a [`divot_telemetry`] default installed the service exports
 //! `fleet.queue.depth` (gauge), `fleet.request.latency` plus per-kind
 //! latency histograms, `fleet.verify.accepts` / `fleet.verify.rejects`,
-//! `fleet.shed`, `fleet.deadline_misses`, and `fleet.retries`.
+//! `fleet.shed`, `fleet.deadline_misses`, `fleet.retries`, and the
+//! verdict-cache counters `fleet.cache.l1_hits` / `fleet.cache.l2_hits`
+//! / `fleet.cache.misses` / `fleet.cache.evictions`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod service;
 pub mod sim;

@@ -22,7 +22,15 @@
 //! Scheduling never touches results: verdicts are a pure function of
 //! `(fleet seed, device, nonce)` (see [`crate::sim`]), so any worker
 //! count yields bitwise-identical responses.
+//!
+//! That purity also powers the verify fast path: each worker owns a
+//! private L1 verdict tier and shares an L2 tier (see [`crate::cache`]),
+//! so a repeat verify of the same `(device, nonce)` under the same
+//! enrollment generation is answered without running the acquisition
+//! engine at all — and the cached bytes are identical to a fresh
+//! computation, so memoization is invisible to the determinism contract.
 
+use crate::cache::{TwoTierCache, VerdictKey, VerdictKind, WorkerTier};
 use crate::error::FleetError;
 use crate::sim::SimulatedFleet;
 use crate::store::FleetStore;
@@ -76,6 +84,18 @@ impl Request {
             Self::Verify { .. } => "verify",
             Self::MonitorScan { .. } => "scan",
             Self::RegistrySnapshot => "snapshot",
+        }
+    }
+
+    /// The per-kind latency histogram name, as a static string — the
+    /// worker hot loop records one observation per request, and a
+    /// `format!` there was measurable allocation churn under load.
+    pub fn latency_metric(&self) -> &'static str {
+        match self {
+            Self::Enroll { .. } => "fleet.request.latency.enroll",
+            Self::Verify { .. } => "fleet.request.latency.verify",
+            Self::MonitorScan { .. } => "fleet.request.latency.scan",
+            Self::RegistrySnapshot => "fleet.request.latency.snapshot",
         }
     }
 }
@@ -165,6 +185,10 @@ pub struct FleetConfig {
     pub tamper_margin: f64,
     /// Transient-fault retry policy.
     pub retry: RetryPolicy,
+    /// Verdict-cache entries per tier (L1 per worker, shared L2).
+    /// `0` disables verdict memoization entirely — the determinism
+    /// suite uses that to A/B cached against uncached service runs.
+    pub verdict_cache_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -181,6 +205,7 @@ impl Default for FleetConfig {
             tamper: TamperPolicy::default(),
             tamper_margin: 4.0,
             retry: RetryPolicy::default(),
+            verdict_cache_capacity: 4096,
         }
     }
 }
@@ -195,6 +220,13 @@ impl FleetConfig {
     /// The same configuration with an explicit queue capacity.
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
+        self
+    }
+
+    /// The same configuration with an explicit verdict-cache capacity
+    /// per tier (`0` disables verdict memoization).
+    pub fn with_verdict_cache_capacity(mut self, cap: usize) -> Self {
+        self.verdict_cache_capacity = cap;
         self
     }
 }
@@ -224,6 +256,9 @@ struct ServiceInner {
     /// calibrates identical thresholds). Devices restored from persisted
     /// banks without re-enrollment fall back to the policy floor.
     thresholds: std::sync::RwLock<std::collections::HashMap<String, f64>>,
+    /// The shared L2 verdict tier; each worker thread owns its own L1
+    /// [`WorkerTier`] inside its [`work`](Self::work) loop.
+    verdicts: TwoTierCache<Response>,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
 }
@@ -264,8 +299,10 @@ impl ServiceInner {
         Ok(rx)
     }
 
-    /// Worker loop: drain jobs until the queue closes.
+    /// Worker loop: drain jobs until the queue closes. The L1 verdict
+    /// tier lives here — owned by this thread, untouched by any lock.
     fn work(&self) {
+        let mut l1 = WorkerTier::new();
         loop {
             let job = {
                 let mut q = self.queue.lock().expect("queue lock poisoned");
@@ -288,14 +325,11 @@ impl ServiceInner {
                 divot_telemetry::inc("fleet.deadline_misses");
                 Err(FleetError::DeadlineExceeded)
             } else {
-                self.handle(&job.request)
+                self.handle(&job.request, &mut l1)
             };
             let elapsed = job.submitted.elapsed().as_secs_f64();
             divot_telemetry::observe("fleet.request.latency", elapsed);
-            divot_telemetry::observe(
-                &format!("fleet.request.latency.{}", job.request.kind()),
-                elapsed,
-            );
+            divot_telemetry::observe(job.request.latency_metric(), elapsed);
             // A disconnected receiver just means the caller gave up.
             let _ = job.reply.send(outcome);
         }
@@ -352,7 +386,76 @@ impl ServiceInner {
         retry.base_backoff.mul_f64(f64::from(exp) * jitter)
     }
 
-    fn handle(&self, request: &Request) -> Result<Response, FleetError> {
+    /// The cache key of a memoizable request: `None` for kinds that are
+    /// never memoized (enroll mutates, snapshots are cheap listings) and
+    /// for devices the fleet does not know.
+    fn verdict_key(&self, kind: VerdictKind, device: &str, nonce: u64) -> Option<VerdictKey> {
+        let index = self.sim.device_index(device)?;
+        Some(VerdictKey {
+            kind,
+            device: index as u32,
+            generation: self.store.generation(device),
+            nonce,
+        })
+    }
+
+    /// Outcome counters, incremented once per *served* response —
+    /// cached and freshly computed verdicts count alike, so the
+    /// accept/reject/detection totals always equal responses delivered.
+    fn note_outcome(&self, response: &Response) {
+        match response {
+            Response::Enrolled { .. } => divot_telemetry::inc("fleet.enrolls"),
+            Response::Verdict { accepted, .. } => divot_telemetry::inc(if *accepted {
+                "fleet.verify.accepts"
+            } else {
+                "fleet.verify.rejects"
+            }),
+            Response::Scan { detected, .. } => {
+                if *detected {
+                    divot_telemetry::inc("fleet.scan.detections");
+                }
+            }
+            Response::Snapshot { .. } => {}
+        }
+    }
+
+    fn handle(
+        &self,
+        request: &Request,
+        l1: &mut WorkerTier<Response>,
+    ) -> Result<Response, FleetError> {
+        // Memoized fast path. The generation in the key is read before
+        // the acquisition: a re-enrollment racing a verify can at worst
+        // store the verdict under an already-orphaned generation (never
+        // served again), exactly as if the verify had lost the race
+        // without a cache.
+        let key = match request {
+            Request::Verify { device, nonce } => {
+                self.verdict_key(VerdictKind::Verify, device, *nonce)
+            }
+            Request::MonitorScan { device, nonce } => {
+                self.verdict_key(VerdictKind::Scan, device, *nonce)
+            }
+            Request::Enroll { .. } | Request::RegistrySnapshot => None,
+        };
+        if let Some(k) = &key {
+            if let Some(response) = self.verdicts.lookup(l1, k) {
+                self.note_outcome(&response);
+                return Ok(response);
+            }
+        }
+        let outcome = self.compute(request);
+        if let Ok(response) = &outcome {
+            self.note_outcome(response);
+            if let Some(k) = key {
+                self.verdicts.store(l1, k, response.clone());
+            }
+        }
+        outcome
+    }
+
+    /// Serve `request` from scratch (the cache-miss path).
+    fn compute(&self, request: &Request) -> Result<Response, FleetError> {
         match request {
             Request::Enroll { device, nonce } => {
                 let pairing = self
@@ -380,7 +483,6 @@ impl ServiceInner {
                     .expect("threshold lock poisoned")
                     .insert(device.clone(), detector.policy().threshold);
                 self.store.register(device, pairing);
-                divot_telemetry::inc("fleet.enrolls");
                 Ok(Response::Enrolled {
                     device: device.clone(),
                     shard: self.store.shard_of(device) as u32,
@@ -392,11 +494,6 @@ impl ServiceInner {
                     .store
                     .with_pairing(device, |p| self.authenticator.verify(&p.master, &measured))
                     .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
-                divot_telemetry::inc(if decision.is_accept() {
-                    "fleet.verify.accepts"
-                } else {
-                    "fleet.verify.rejects"
-                });
                 Ok(Response::Verdict {
                     device: device.clone(),
                     accepted: decision.is_accept(),
@@ -420,9 +517,6 @@ impl ServiceInner {
                     .store
                     .with_pairing(device, |p| detector.scan(p.master.iip(), &measured))
                     .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
-                if report.detected {
-                    divot_telemetry::inc("fleet.scan.detections");
-                }
                 Ok(Response::Scan {
                     device: device.clone(),
                     detected: report.detected,
@@ -477,6 +571,7 @@ impl FleetService {
         let inner = Arc::new(ServiceInner {
             authenticator: Authenticator::new(config.auth),
             thresholds: std::sync::RwLock::new(std::collections::HashMap::new()),
+            verdicts: TwoTierCache::new(config.verdict_cache_capacity),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
@@ -539,6 +634,27 @@ impl Drop for FleetService {
 }
 
 /// An in-process handle for submitting requests to a [`FleetService`].
+///
+/// The full enroll → verify round trip:
+///
+/// ```
+/// use divot_fleet::{FleetConfig, FleetService, Request, Response};
+/// use divot_fleet::sim::{FleetSimConfig, SimulatedFleet};
+///
+/// let service = FleetService::start(
+///     FleetConfig::default().with_workers(1),
+///     SimulatedFleet::new(FleetSimConfig::fast(1, 7)),
+/// );
+/// let client = service.client();
+/// client.call(Request::Enroll { device: "bus-000".into(), nonce: 1 })?;
+/// match client.call(Request::Verify { device: "bus-000".into(), nonce: 2 })? {
+///     Response::Verdict { accepted, similarity, .. } => {
+///         assert!(accepted, "genuine device must verify (s={similarity})");
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), divot_fleet::FleetError>(())
+/// ```
 #[derive(Clone)]
 pub struct FleetClient {
     inner: Arc<ServiceInner>,
@@ -800,6 +916,94 @@ mod tests {
                 Err(e) => panic!("retry should have absorbed faults: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn repeat_requests_are_served_from_the_verdict_cache_identically() {
+        let svc = service(2, 2);
+        let client = svc.client();
+        for i in 0..2 {
+            client
+                .call(Request::Enroll {
+                    device: SimulatedFleet::device_name(i),
+                    nonce: 1,
+                })
+                .unwrap();
+        }
+        let verify = Request::Verify {
+            device: "bus-000".into(),
+            nonce: 77,
+        };
+        let scan = Request::MonitorScan {
+            device: "bus-001".into(),
+            nonce: 78,
+        };
+        let first = (client.call(verify.clone()).unwrap(), client.call(scan.clone()).unwrap());
+        assert!(svc.inner.verdicts.shared_len() >= 2, "verdicts memoized");
+        for _ in 0..3 {
+            assert_eq!(client.call(verify.clone()).unwrap(), first.0);
+            assert_eq!(client.call(scan.clone()).unwrap(), first.1);
+        }
+    }
+
+    #[test]
+    fn re_enrollment_invalidates_cached_verdicts() {
+        let svc = service(1, 1);
+        let client = svc.client();
+        let enroll = |nonce| {
+            client
+                .call(Request::Enroll {
+                    device: "bus-000".into(),
+                    nonce,
+                })
+                .unwrap()
+        };
+        let verify = || match client
+            .call(Request::Verify {
+                device: "bus-000".into(),
+                nonce: 500,
+            })
+            .unwrap()
+        {
+            Response::Verdict { similarity, .. } => similarity,
+            other => panic!("unexpected {other:?}"),
+        };
+        enroll(1);
+        let before = verify();
+        assert_eq!(verify(), before, "repeat under the same pairing");
+        // Re-enroll with a fresh nonce: a different stored fingerprint,
+        // so the same verify request must be recomputed, not replayed.
+        enroll(2);
+        let after = verify();
+        assert_ne!(
+            before, after,
+            "verify must reflect the new pairing, not a stale cache entry"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_still_serves_identical_verdicts() {
+        let svc = FleetService::start(
+            FleetConfig::default()
+                .with_workers(1)
+                .with_verdict_cache_capacity(0),
+            SimulatedFleet::new(FleetSimConfig::fast(1, 7)),
+        );
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        let verify = Request::Verify {
+            device: "bus-000".into(),
+            nonce: 9,
+        };
+        let a = client.call(verify.clone()).unwrap();
+        let b = client.call(verify).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(svc.inner.verdicts.shared_len(), 0, "capacity 0 memoizes nothing");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use divot_core::registry::{FingerprintRegistry, Pairing};
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Offset basis of the FNV-1a hash used for shard placement.
@@ -36,6 +37,12 @@ fn fnv1a(name: &str) -> u64 {
 #[derive(Debug)]
 pub struct FleetStore {
     shards: Vec<RwLock<FingerprintRegistry>>,
+    /// Per-shard enrollment generation: bumped on every
+    /// [`register`](Self::register) / [`remove`](Self::remove) that lands
+    /// on the shard. Memoized verdicts key on the generation they were
+    /// computed under, so a re-enrollment invalidates them without any
+    /// cache walk (stale keys simply never match again).
+    generations: Vec<AtomicU64>,
 }
 
 impl FleetStore {
@@ -50,6 +57,7 @@ impl FleetStore {
             shards: (0..shard_count)
                 .map(|_| RwLock::new(FingerprintRegistry::new()))
                 .collect(),
+            generations: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -76,14 +84,27 @@ impl FleetStore {
         self.len() == 0
     }
 
+    /// The enrollment generation of the shard `device` maps to.
+    ///
+    /// Starts at 0 and advances monotonically whenever any pairing on
+    /// that shard is registered or removed. Verdicts memoized under an
+    /// old generation can therefore never be served after a
+    /// re-enrollment: the generation is part of their cache key.
+    pub fn generation(&self, device: &str) -> u64 {
+        self.generations[self.shard_of(device)].load(Ordering::Acquire)
+    }
+
     /// Store (or replace) the pairing for `device`, returning the
     /// previous pairing if one existed. Takes the write lock of exactly
-    /// one shard.
+    /// one shard and advances the shard's enrollment generation.
     pub fn register(&self, device: &str, pairing: Pairing) -> Option<Pairing> {
-        self.shards[self.shard_of(device)]
+        let shard = self.shard_of(device);
+        let prev = self.shards[shard]
             .write()
             .expect("shard lock poisoned")
-            .register(device, pairing)
+            .register(device, pairing);
+        self.generations[shard].fetch_add(1, Ordering::Release);
+        prev
     }
 
     /// Run `f` on the stored pairing of `device` under the shard's read
@@ -97,12 +118,18 @@ impl FleetStore {
             .map(f)
     }
 
-    /// Remove a device's pairing (decommissioning).
+    /// Remove a device's pairing (decommissioning). Advances the shard's
+    /// enrollment generation when a pairing was actually removed.
     pub fn remove(&self, device: &str) -> Option<Pairing> {
-        self.shards[self.shard_of(device)]
+        let shard = self.shard_of(device);
+        let prev = self.shards[shard]
             .write()
             .expect("shard lock poisoned")
-            .remove(device)
+            .remove(device);
+        if prev.is_some() {
+            self.generations[shard].fetch_add(1, Ordering::Release);
+        }
+        prev
     }
 
     /// Every enrolled device as `(name, shard)`, sorted by name — the

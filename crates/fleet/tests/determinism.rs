@@ -1,25 +1,35 @@
-//! Deterministic-concurrency pins for the fleet service (ISSUE 5
-//! satellite): verify verdicts for a fixed seed are bitwise-identical
-//! across serial (1-worker), 2-worker, and 8-worker configurations, and
-//! identical with telemetry on and off.
+//! Deterministic-concurrency pins for the fleet service: verify
+//! verdicts for a fixed seed are bitwise-identical across serial
+//! (1-worker), 2-worker, and 8-worker configurations, identical with
+//! telemetry on and off, and identical with the verdict cache enabled
+//! and disabled. Analytic and Trial acquisition fleets must agree on
+//! every *decision* (their similarity bits differ by design: the two
+//! modes draw from disjoint RNG domains).
 //!
 //! This is the service-level extension of the repo-wide determinism
-//! contract: scheduling and observation decide *when* an answer arrives,
-//! never *what* it is.
+//! contract: scheduling, observation, and memoization decide *when* an
+//! answer arrives (and how expensively), never *what* it is.
 
+use divot_core::itdr::AcqMode;
 use divot_fleet::{FleetConfig, FleetService, FleetSimConfig, Request, Response, SimulatedFleet};
 
 const SEED: u64 = 2020;
 const DEVICES: usize = 6;
 
 /// Run the canonical workload — enroll every device, then a fixed list
-/// of verifies and scans — and return every answer reduced to exact
-/// bits.
+/// of verifies and scans, each issued twice (the repeat exercises the
+/// verdict cache when it is enabled) — and return every answer reduced
+/// to exact bits.
 fn run_workload(workers: usize) -> Vec<(String, bool, u64)> {
-    let svc = FleetService::start(
+    run_workload_with(
         FleetConfig::default().with_workers(workers),
-        SimulatedFleet::new(FleetSimConfig::fast(DEVICES, SEED)),
-    );
+        FleetSimConfig::fast(DEVICES, SEED),
+    )
+}
+
+/// [`run_workload`] under explicit service and fleet configurations.
+fn run_workload_with(config: FleetConfig, sim: FleetSimConfig) -> Vec<(String, bool, u64)> {
+    let svc = FleetService::start(config, SimulatedFleet::new(sim));
     let client = svc.client();
     for i in 0..DEVICES {
         client
@@ -43,7 +53,7 @@ fn run_workload(workers: usize) -> Vec<(String, bool, u64)> {
                 let client = client.clone();
                 let (device, nonce) = (device.clone(), *nonce);
                 scope.spawn(move || {
-                    let verdict = match client
+                    let call_verify = || match client
                         .call(Request::Verify {
                             device: device.clone(),
                             nonce,
@@ -57,6 +67,10 @@ fn run_workload(workers: usize) -> Vec<(String, bool, u64)> {
                         } => (device.clone(), accepted, similarity.to_bits()),
                         other => panic!("unexpected {other:?}"),
                     };
+                    let verdict = call_verify();
+                    // Repeat of the identical request: must answer the
+                    // same bits whether it recomputes or hits a cache.
+                    assert_eq!(call_verify(), verdict, "repeat verify must be stable");
                     let scan_bits = match client
                         .call(Request::MonitorScan { device, nonce })
                         .unwrap()
@@ -90,6 +104,42 @@ fn verdicts_are_bitwise_identical_across_worker_counts() {
     let eight = run_workload(8);
     assert_eq!(serial, two, "2 workers must match serial bitwise");
     assert_eq!(serial, eight, "8 workers must match serial bitwise");
+}
+
+#[test]
+fn verdicts_are_bitwise_identical_cached_and_uncached() {
+    // Capacity 0 disables both verdict tiers: every repeat request
+    // recomputes from scratch. The memoized run must not differ by a bit.
+    let sim = || FleetSimConfig::fast(DEVICES, SEED);
+    let uncached = run_workload_with(
+        FleetConfig::default()
+            .with_workers(4)
+            .with_verdict_cache_capacity(0),
+        sim(),
+    );
+    let cached = run_workload_with(FleetConfig::default().with_workers(4), sim());
+    assert_eq!(uncached, cached, "memoization must be invisible in the bits");
+}
+
+#[test]
+fn analytic_and_trial_fleets_agree_on_every_decision() {
+    // The two acquisition modes deliberately draw from disjoint RNG
+    // domains, so similarity *bits* differ; the accept decisions (and
+    // clean-scan outcomes, asserted inside the workload) must agree on
+    // every request of the canonical workload.
+    let decisions = |mode| {
+        run_workload_with(
+            FleetConfig::default().with_workers(2),
+            FleetSimConfig::fast(DEVICES, SEED).with_acq_mode(mode),
+        )
+        .into_iter()
+        .map(|(device, accepted, _bits)| (device, accepted))
+        .collect::<Vec<_>>()
+    };
+    let analytic = decisions(AcqMode::Analytic);
+    let trial = decisions(AcqMode::Trial);
+    assert!(analytic.iter().all(|(_, a)| *a), "genuine fleet must verify");
+    assert_eq!(analytic, trial, "modes must agree on decisions");
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! Property pin for memoized fabrication: for *arbitrary*
+//! `(fleet seed, device count, device, nonce)` the warm fast path —
+//! shared back-reflection, shared ROM, shared level schedule — must
+//! produce an acquisition bitwise-identical to a channel that computes
+//! everything from scratch.
+//!
+//! This is the cache-correctness half of the fleet determinism
+//! contract: memoization may only ever skip recomputing values that are
+//! pure functions of the device, never change them.
+
+use divot_core::itdr::AcqMode;
+use divot_fleet::{FleetSimConfig, SimulatedFleet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn memoized_acquisition_is_bitwise_identical_to_fresh(
+        seed in any::<u64>(),
+        devices in 1usize..5,
+        device in 0usize..5,
+        nonce in any::<u64>(),
+        analytic in any::<bool>(),
+    ) {
+        let device = device % devices;
+        let mode = if analytic { AcqMode::Analytic } else { AcqMode::Trial };
+        let fleet = SimulatedFleet::new(
+            FleetSimConfig::fast(devices, seed).with_acq_mode(mode),
+        );
+        let name = SimulatedFleet::device_name(device);
+        // Warm path first (it also populates the memoized state), then
+        // the reference path, then the warm path again: all three must
+        // carry the exact same bits.
+        let warm = fleet.acquire(&name, nonce).unwrap();
+        let fresh = fleet.acquire_uncached(&name, nonce).unwrap();
+        let warm_again = fleet.acquire(&name, nonce).unwrap();
+        for (a, b) in warm.samples().iter().zip(fresh.samples()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in warm.samples().iter().zip(warm_again.samples()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn enrollment_is_identical_across_fleet_instances(
+        seed in any::<u64>(),
+        nonce in any::<u64>(),
+    ) {
+        // Two independently constructed fleets (each with its own
+        // lazily-warmed state) must enroll the identical pairing: the
+        // memoized values are functions of the configuration alone.
+        let a = SimulatedFleet::new(FleetSimConfig::fast(2, seed));
+        let b = SimulatedFleet::new(FleetSimConfig::fast(2, seed));
+        // Warm fleet `b` through a different code path first.
+        let _ = b.acquire("bus-001", nonce);
+        let pa = a.enroll("bus-001", nonce).unwrap();
+        let pb = b.enroll("bus-001", nonce).unwrap();
+        for (x, y) in pa.master.iip().samples().iter().zip(pb.master.iip().samples()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in pa.slave.iip().samples().iter().zip(pb.slave.iip().samples()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

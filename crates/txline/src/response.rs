@@ -330,6 +330,25 @@ impl ResponseCache {
         wf
     }
 
+    /// Pre-seed the derived-waveform tier with an already-computed
+    /// response for `state`.
+    ///
+    /// This is the warm-start path for callers that hold a population of
+    /// identical channels (the fleet service memoizes one engine run per
+    /// device and seeds every per-request cache from it): the seeded
+    /// `Arc` is exactly what [`response_for_state`](Self::response_for_state)
+    /// would have computed, so lookups are bitwise-indistinguishable from
+    /// a cold cache — they just skip the engine. Seeding ticks neither
+    /// `hits` nor `misses`; the first lookup of the seeded state counts
+    /// as an ordinary hit.
+    pub fn seed_waveform(&mut self, state: EnvState, wf: Arc<Waveform>) {
+        if self.derived.len() >= self.capacity && !self.derived.contains_key(&state) {
+            self.derived.clear();
+            self.tick(|c| &c.evictions);
+        }
+        self.derived.insert(state, wf);
+    }
+
     /// Drop every cached waveform **and** impulse response. Must be called
     /// when the network the cache is being queried with changes identity —
     /// after an [`Attack`](crate::attack::Attack) mutates it, after a
@@ -560,6 +579,25 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(max_diff < 1e-11, "render vs direct: {max_diff}");
+    }
+
+    #[test]
+    fn seeded_waveform_serves_lookups_without_engine_runs() {
+        let env = Environment::room();
+        let n = net();
+        let state = env.state_at(Seconds(0.0));
+        // Compute once in a donor cache...
+        let mut donor = ResponseCache::new(SimConfig::default());
+        let wf = donor.response_for_state(&n, &env, state);
+        // ...seed a fresh cache and look the state up: pointer-equal
+        // result, zero engine runs, and the lookup counts as a hit.
+        let mut cache = ResponseCache::new(SimConfig::default());
+        cache.seed_waveform(state, Arc::clone(&wf));
+        let got = cache.response_at(&n, &env, Seconds(0.0));
+        assert!(Arc::ptr_eq(&wf, &got));
+        assert_eq!(cache.stats().engine_runs, 0);
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

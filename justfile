@@ -40,14 +40,17 @@ bench-itdr:
     CRITERION_JSON="$(pwd)/BENCH_itdr.json" cargo bench -p divot-bench --bench itdr
 
 # Fleet attestation smoke: enroll 8 buses, 64 concurrent verifies over
-# loopback TCP; zero sheds and all-accept are hard claims (nonzero exit
-# on a MISS).
+# loopback TCP, then a 1-vs-8-worker scaling gate. Zero sheds, all-accept,
+# bitwise-identical verdicts across worker counts, warm p50 < 2 ms, and
+# speedup-not-inverted (on >=2 cores) are hard claims (nonzero exit on a
+# MISS).
 fleet-demo:
     cargo run --release -p divot-bench --bin fleet_load -- --quick
 
-# Full fleet load benchmark: 64 buses, 16 concurrent clients, 1-worker
-# vs 8-worker comparison plus the overload/shedding phase. Writes
-# BENCH_fleet.json (throughput, p50/p99, shed rate) at the repo root.
+# Full fleet load benchmark: 64 buses, 16 concurrent clients, cold
+# (first-touch fabrication) and warm (cached) phases at 1 and 8 workers,
+# plus the overload/shedding phase. Writes BENCH_fleet.json (per-phase
+# throughput, p50/p99, speedups, shed rate) at the repo root.
 bench-fleet:
     cargo run --release -p divot-bench --bin fleet_load
 
