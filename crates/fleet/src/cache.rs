@@ -89,7 +89,31 @@ impl<V> WorkerTier<V> {
     }
 }
 
+/// Number of independent L2 stripes. Each stripe is its own `RwLock`,
+/// chosen by the FNV hash of the key's device index — the same hash
+/// family the [`crate::store::FleetStore`] shards by — so concurrent
+/// workers (and the reactor's lock-free [`TwoTierCache::peek`] path)
+/// contend only when they touch the same device neighborhood.
+const L2_STRIPES: usize = 16;
+
+/// FNV-1a over the device index, reduced to a stripe slot.
+fn stripe_of(key: &VerdictKey) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in key.device.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % L2_STRIPES as u64) as usize
+}
+
 /// The shared L2 tier plus the lookup/store protocol across both tiers.
+///
+/// The L2 is striped: `L2_STRIPES` independent `RwLock`ed maps keyed
+/// by the FNV device hash, so the 8-worker warm path no longer
+/// serializes on a single shared lock (the ROADMAP's named contention
+/// candidate).
 ///
 /// ```
 /// use divot_fleet::cache::{TwoTierCache, VerdictKey, VerdictKind, WorkerTier};
@@ -110,22 +134,32 @@ impl<V> WorkerTier<V> {
 /// let mut other_l1 = WorkerTier::new();
 /// assert_eq!(cache.lookup(&mut other_l1, &key), Some("accepted"));
 /// assert_eq!(other_l1.len(), 1);
+/// // The reactor's inline path peeks L2 without an L1 (no promotion).
+/// assert_eq!(cache.peek(&key), Some("accepted"));
 /// ```
 #[derive(Debug)]
 pub struct TwoTierCache<V> {
-    shared: RwLock<HashMap<VerdictKey, V>>,
-    /// Per-tier entry budget; 0 disables the cache.
+    stripes: Box<[RwLock<HashMap<VerdictKey, V>>]>,
+    /// L1 entry budget; 0 disables the cache.
     capacity: usize,
+    /// Entry budget of each L2 stripe (`capacity`, spread).
+    stripe_capacity: usize,
 }
 
 impl<V: Clone> TwoTierCache<V> {
-    /// A cache with `capacity` entries per tier. `0` disables caching:
+    /// A cache with `capacity` entries per tier (the shared tier spreads
+    /// its budget across `L2_STRIPES` stripes). `0` disables caching:
     /// every lookup misses silently and every store is a no-op (no
     /// telemetry either, so disabled runs count zero `fleet.cache.*`).
     pub fn new(capacity: usize) -> Self {
+        let stripes = (0..L2_STRIPES)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
-            shared: RwLock::new(HashMap::new()),
+            stripes,
             capacity,
+            stripe_capacity: capacity.div_ceil(L2_STRIPES),
         }
     }
 
@@ -134,13 +168,17 @@ impl<V: Clone> TwoTierCache<V> {
         self.capacity > 0
     }
 
-    /// Number of entries in the shared L2 tier.
+    /// Number of entries in the shared L2 tier (all stripes).
     pub fn shared_len(&self) -> usize {
-        self.shared.read().expect("verdict cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.read().expect("verdict cache poisoned").len())
+            .sum()
     }
 
-    /// Look `key` up: the caller's L1 first, then shared L2 (promoting
-    /// a hit into L1). Emits `fleet.cache.{l1_hits,l2_hits,misses}`.
+    /// Look `key` up: the caller's L1 first, then the key's L2 stripe
+    /// (promoting a hit into L1). Emits
+    /// `fleet.cache.{l1_hits,l2_hits,misses}`.
     pub fn lookup(&self, l1: &mut WorkerTier<V>, key: &VerdictKey) -> Option<V> {
         if !self.enabled() {
             return None;
@@ -149,8 +187,7 @@ impl<V: Clone> TwoTierCache<V> {
             divot_telemetry::inc("fleet.cache.l1_hits");
             return Some(v.clone());
         }
-        let from_shared = self
-            .shared
+        let from_shared = self.stripes[stripe_of(key)]
             .read()
             .expect("verdict cache poisoned")
             .get(key)
@@ -168,15 +205,37 @@ impl<V: Clone> TwoTierCache<V> {
         }
     }
 
+    /// L2-only lookup without an L1 tier and without promotion — the
+    /// reactor serves warm repeats inline off this before paying a
+    /// worker-pool round trip. A hit counts `fleet.cache.l2_hits`; a
+    /// miss counts nothing (the request proceeds to a worker whose
+    /// [`lookup`](Self::lookup) accounts for it once).
+    pub fn peek(&self, key: &VerdictKey) -> Option<V> {
+        if !self.enabled() {
+            return None;
+        }
+        let v = self.stripes[stripe_of(key)]
+            .read()
+            .expect("verdict cache poisoned")
+            .get(key)
+            .cloned();
+        if v.is_some() {
+            divot_telemetry::inc("fleet.cache.l2_hits");
+        }
+        v
+    }
+
     /// Memoize `value` under `key` in both the caller's L1 and the
-    /// shared L2.
+    /// key's L2 stripe.
     pub fn store(&self, l1: &mut WorkerTier<V>, key: VerdictKey, value: V) {
         if !self.enabled() {
             return;
         }
         Self::insert_bounded(&mut l1.map, self.capacity, key, value.clone());
-        let mut shared = self.shared.write().expect("verdict cache poisoned");
-        Self::insert_bounded(&mut shared, self.capacity, key, value);
+        let mut stripe = self.stripes[stripe_of(&key)]
+            .write()
+            .expect("verdict cache poisoned");
+        Self::insert_bounded(&mut stripe, self.stripe_capacity, key, value);
     }
 
     /// Insert with wholesale eviction: a full map is cleared rather than
@@ -258,6 +317,39 @@ mod tests {
         assert_eq!(cache.lookup(&mut l1, &key(0, 0, 1)), None);
         assert!(l1.is_empty());
         assert_eq!(cache.shared_len(), 0);
+    }
+
+    #[test]
+    fn peek_reads_l2_without_promoting() {
+        let cache = TwoTierCache::new(16);
+        let mut l1 = WorkerTier::new();
+        assert_eq!(cache.peek(&key(4, 0, 1)), None);
+        cache.store(&mut l1, key(4, 0, 1), 11u8);
+        let mut other = WorkerTier::new();
+        assert_eq!(cache.peek(&key(4, 0, 1)), Some(11));
+        assert!(other.is_empty(), "peek must not need or touch an L1");
+        // A normal lookup still promotes afterwards.
+        assert_eq!(cache.lookup(&mut other, &key(4, 0, 1)), Some(11));
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn stripes_isolate_devices() {
+        // Devices landing on different stripes keep their entries even
+        // when one stripe churns at capacity.
+        let cache = TwoTierCache::new(L2_STRIPES * 2);
+        let mut l1 = WorkerTier::new();
+        for device in 0..64u32 {
+            cache.store(&mut l1, key(device, 0, 1), device);
+        }
+        let survivors = (0..64u32)
+            .filter(|&d| cache.peek(&key(d, 0, 1)).is_some())
+            .count();
+        assert!(
+            survivors >= L2_STRIPES,
+            "wholesale eviction must stay per-stripe (kept {survivors})"
+        );
+        assert_eq!(cache.shared_len(), survivors);
     }
 
     #[test]

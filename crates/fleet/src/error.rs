@@ -8,6 +8,44 @@
 
 use std::fmt;
 
+/// Why an [`FleetError::Overloaded`] shed happened — the admission
+/// stage that rejected the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The service's bounded admission queue (or the reactor's
+    /// per-connection parking lot) was full at submission.
+    QueueFull,
+    /// The reactor's round-robin fair-share admission could not place
+    /// the request before its patience window expired — the service
+    /// stayed saturated by other connections' traffic.
+    FairShare,
+}
+
+impl ShedReason {
+    /// Stable wire byte of this reason.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::QueueFull => 0,
+            Self::FairShare => 1,
+        }
+    }
+
+    /// Decode a wire byte back into the reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Protocol`] on unknown bytes.
+    pub fn from_code(code: u8) -> Result<Self, FleetError> {
+        match code {
+            0 => Ok(Self::QueueFull),
+            1 => Ok(Self::FairShare),
+            other => Err(FleetError::Protocol(format!(
+                "unknown shed reason {other}"
+            ))),
+        }
+    }
+}
+
 /// Why the fleet service rejected a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FleetError {
@@ -18,6 +56,8 @@ pub enum FleetError {
         depth: usize,
         /// The configured queue capacity.
         capacity: usize,
+        /// Which admission stage shed the request.
+        reason: ShedReason,
     },
     /// The request's deadline expired before a worker picked it up.
     DeadlineExceeded,
@@ -65,9 +105,19 @@ impl FleetError {
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Overloaded { depth, capacity } => {
-                write!(f, "shed: admission queue full ({depth}/{capacity})")
-            }
+            Self::Overloaded {
+                depth,
+                capacity,
+                reason,
+            } => match reason {
+                ShedReason::QueueFull => {
+                    write!(f, "shed: admission queue full ({depth}/{capacity})")
+                }
+                ShedReason::FairShare => write!(
+                    f,
+                    "shed: fair-share admission window expired ({depth}/{capacity})"
+                ),
+            },
             Self::DeadlineExceeded => write!(f, "deadline expired before service"),
             Self::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
             Self::AcquisitionFailed { attempts } => {
@@ -98,6 +148,7 @@ mod tests {
             FleetError::Overloaded {
                 depth: 8,
                 capacity: 8,
+                reason: ShedReason::QueueFull,
             },
             FleetError::DeadlineExceeded,
             FleetError::UnknownDevice("x".into()),
@@ -116,7 +167,8 @@ mod tests {
     fn retryable_classification() {
         assert!(FleetError::Overloaded {
             depth: 1,
-            capacity: 1
+            capacity: 1,
+            reason: ShedReason::FairShare,
         }
         .is_retryable());
         assert!(FleetError::AcquisitionFailed { attempts: 3 }.is_retryable());
@@ -130,8 +182,26 @@ mod tests {
         let e = FleetError::Overloaded {
             depth: 7,
             capacity: 8,
+            reason: ShedReason::QueueFull,
         };
         assert!(format!("{e}").contains("7/8"));
+        let fair = FleetError::Overloaded {
+            depth: 7,
+            capacity: 8,
+            reason: ShedReason::FairShare,
+        };
+        assert!(format!("{fair}").contains("fair-share"));
         assert!(format!("{}", FleetError::UnknownDevice("bus-3".into())).contains("bus-3"));
+    }
+
+    #[test]
+    fn shed_reasons_round_trip_their_codes() {
+        for reason in [ShedReason::QueueFull, ShedReason::FairShare] {
+            assert_eq!(ShedReason::from_code(reason.code()).unwrap(), reason);
+        }
+        assert!(matches!(
+            ShedReason::from_code(99),
+            Err(FleetError::Protocol(_))
+        ));
     }
 }

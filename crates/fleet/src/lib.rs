@@ -30,10 +30,20 @@
 //!   memoization behind the verify fast path. L1 is per-worker and
 //!   lock-free, L2 is shared; keys embed the store's enrollment
 //!   generation so re-enrollment invalidates without a cache walk.
-//! - [`wire`] — a length-prefixed binary protocol served over
-//!   `std::net::TcpListener`, plus the matching blocking client. The
-//!   in-process [`FleetClient`] and the TCP path
-//!   share one request/response vocabulary.
+//! - [`wire`] — a length-prefixed binary protocol (v1 plain, v2
+//!   pipelined/enveloped) served over `std::net::TcpListener`, plus the
+//!   matching blocking clients ([`TcpFleetClient`],
+//!   [`PipelinedFleetClient`]). The in-process [`FleetClient`] and the
+//!   TCP path share one request/response vocabulary.
+//! - [`reactor`] — the event-driven server behind
+//!   [`FleetTcpServer::spawn`]: a single poll-based readiness loop
+//!   (via `divot-polling`) multiplexing 10k+ nonblocking connections
+//!   with request pipelining, round-robin fair admission,
+//!   cache-inline serving, device-coalesced batch submission, and
+//!   streaming `MonitorScan` subscriptions. The thread-per-connection
+//!   server survives as
+//!   [`FleetTcpServer::spawn_threaded`] — the
+//!   byte-equivalence reference.
 //!
 //! # Determinism contract
 //!
@@ -50,20 +60,31 @@
 //! latency histograms, `fleet.verify.accepts` / `fleet.verify.rejects`,
 //! `fleet.shed`, `fleet.deadline_misses`, `fleet.retries`, and the
 //! verdict-cache counters `fleet.cache.l1_hits` / `fleet.cache.l2_hits`
-//! / `fleet.cache.misses` / `fleet.cache.evictions`.
+//! / `fleet.cache.misses` / `fleet.cache.evictions`. The reactor adds
+//! `fleet.reactor.wakeups`, `fleet.reactor.frames`,
+//! `fleet.reactor.frames_per_wakeup`, `fleet.reactor.pipeline_depth`,
+//! `fleet.reactor.batch_width`, `fleet.reactor.inline_hits`,
+//! `fleet.reactor.coalesced`, `fleet.reactor.sheds_fair`,
+//! `fleet.reactor.pushes`, `fleet.reactor.push_skips`, and the gauges
+//! `fleet.reactor.conns` / `fleet.reactor.subs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
+pub mod reactor;
 pub mod service;
 pub mod sim;
 pub mod store;
 pub mod wire;
 
-pub use error::FleetError;
-pub use service::{FleetClient, FleetConfig, FleetService, Request, Response, RetryPolicy};
-pub use sim::{FleetSimConfig, SimulatedFleet};
+pub use error::{FleetError, ShedReason};
+pub use reactor::ReactorConfig;
+pub use service::{
+    Completion, CompletionQueue, FleetClient, FleetConfig, FleetService, Request, Response,
+    RetryPolicy,
+};
+pub use sim::{subscription_nonce, FleetSimConfig, SimulatedFleet};
 pub use store::FleetStore;
-pub use wire::{FleetTcpServer, TcpFleetClient};
+pub use wire::{FleetTcpServer, PipelinedFleetClient, TcpFleetClient, WireEvent, WireRequest};

@@ -31,7 +31,7 @@
 //! computation, so memoization is invisible to the determinism contract.
 
 use crate::cache::{TwoTierCache, VerdictKey, VerdictKind, WorkerTier};
-use crate::error::FleetError;
+use crate::error::{FleetError, ShedReason};
 use crate::sim::SimulatedFleet;
 use crate::store::FleetStore;
 use divot_core::auth::{AuthPolicy, Authenticator};
@@ -231,12 +231,86 @@ impl FleetConfig {
     }
 }
 
+/// The outcome of one completed tagged submission.
+#[derive(Debug)]
+pub struct Completion {
+    /// The token the submitter attached (reactor request bookkeeping).
+    pub token: u64,
+    /// The job's outcome, exactly as a blocking caller would see it.
+    pub outcome: Result<Response, FleetError>,
+}
+
+/// A mailbox collecting [`Completion`]s of tagged submissions, with a
+/// caller-supplied waker fired after every push — the bridge between
+/// the synchronous worker pool and an event loop that must not block on
+/// per-request channels. The reactor passes `poller.notify` as the
+/// waker; workers push under a short mutex and the loop drains whole
+/// batches per wakeup.
+pub struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    waker: Box<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.done.lock().map(|d| d.len()).unwrap_or(0);
+        f.debug_struct("CompletionQueue").field("ready", &n).finish()
+    }
+}
+
+impl CompletionQueue {
+    /// A new queue whose `waker` runs (outside the lock) after each
+    /// completion is pushed.
+    pub fn new(waker: impl Fn() + Send + Sync + 'static) -> Arc<Self> {
+        Arc::new(Self {
+            done: Mutex::new(Vec::new()),
+            waker: Box::new(waker),
+        })
+    }
+
+    /// Deliver one completion and fire the waker.
+    pub fn push(&self, token: u64, outcome: Result<Response, FleetError>) {
+        {
+            let mut done = self.done.lock().expect("completion queue poisoned");
+            done.push(Completion { token, outcome });
+        }
+        (self.waker)();
+    }
+
+    /// Move every ready completion into `out` (oldest first).
+    pub fn drain_into(&self, out: &mut Vec<Completion>) {
+        let mut done = self.done.lock().expect("completion queue poisoned");
+        out.append(&mut done);
+    }
+}
+
+/// Where a job's outcome goes.
+enum Reply {
+    /// A blocking caller waiting on a channel.
+    Oneshot(mpsc::Sender<Result<Response, FleetError>>),
+    /// An event loop draining a shared [`CompletionQueue`].
+    Tagged {
+        token: u64,
+        queue: Arc<CompletionQueue>,
+    },
+}
+
+impl Reply {
+    fn deliver(self, outcome: Result<Response, FleetError>) {
+        match self {
+            // A disconnected receiver just means the caller gave up.
+            Self::Oneshot(tx) => drop(tx.send(outcome)),
+            Self::Tagged { token, queue } => queue.push(token, outcome),
+        }
+    }
+}
+
 /// One queued unit of work.
 struct Job {
     request: Request,
     deadline: Instant,
     submitted: Instant,
-    reply: mpsc::Sender<Result<Response, FleetError>>,
+    reply: Reply,
 }
 
 /// Queue state under the mutex.
@@ -275,6 +349,18 @@ impl ServiceInner {
         deadline: Instant,
     ) -> Result<mpsc::Receiver<Result<Response, FleetError>>, FleetError> {
         let (reply, rx) = mpsc::channel();
+        self.submit_reply(request, deadline, Reply::Oneshot(reply))?;
+        Ok(rx)
+    }
+
+    /// Admission with an arbitrary reply sink: push or shed, never
+    /// blocks.
+    fn submit_reply(
+        &self,
+        request: Request,
+        deadline: Instant,
+        reply: Reply,
+    ) -> Result<(), FleetError> {
         {
             let mut q = self.queue.lock().expect("queue lock poisoned");
             if q.closed {
@@ -285,6 +371,7 @@ impl ServiceInner {
                 return Err(FleetError::Overloaded {
                     depth: q.jobs.len(),
                     capacity: self.config.queue_capacity,
+                    reason: ShedReason::QueueFull,
                 });
             }
             q.jobs.push_back(Job {
@@ -296,7 +383,50 @@ impl ServiceInner {
             self.note_depth(q.jobs.len());
         }
         self.not_empty.notify_one();
-        Ok(rx)
+        Ok(())
+    }
+
+    /// Batched admission under one queue-lock acquisition: each job is
+    /// admitted or shed independently (the first shed does not poison
+    /// the rest — later jobs still fail `QueueFull`, but the outcome
+    /// vector is per-job). Workers are woken once per admitted batch.
+    fn submit_batch(
+        &self,
+        jobs: Vec<(Request, Instant, Reply)>,
+    ) -> Vec<Result<(), FleetError>> {
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut admitted = 0usize;
+        {
+            let mut q = self.queue.lock().expect("queue lock poisoned");
+            for (request, deadline, reply) in jobs {
+                if q.closed {
+                    outcomes.push(Err(FleetError::ShuttingDown));
+                    continue;
+                }
+                if q.jobs.len() >= self.config.queue_capacity {
+                    divot_telemetry::inc("fleet.shed");
+                    outcomes.push(Err(FleetError::Overloaded {
+                        depth: q.jobs.len(),
+                        capacity: self.config.queue_capacity,
+                        reason: ShedReason::QueueFull,
+                    }));
+                    continue;
+                }
+                q.jobs.push_back(Job {
+                    request,
+                    deadline,
+                    submitted: Instant::now(),
+                    reply,
+                });
+                admitted += 1;
+                outcomes.push(Ok(()));
+            }
+            self.note_depth(q.jobs.len());
+        }
+        for _ in 0..admitted {
+            self.not_empty.notify_one();
+        }
+        outcomes
     }
 
     /// Worker loop: drain jobs until the queue closes. The L1 verdict
@@ -330,8 +460,7 @@ impl ServiceInner {
             let elapsed = job.submitted.elapsed().as_secs_f64();
             divot_telemetry::observe("fleet.request.latency", elapsed);
             divot_telemetry::observe(job.request.latency_metric(), elapsed);
-            // A disconnected receiver just means the caller gave up.
-            let _ = job.reply.send(outcome);
+            job.reply.deliver(outcome);
         }
     }
 
@@ -694,6 +823,96 @@ impl FleetClient {
         rx.recv().unwrap_or(Err(FleetError::ShuttingDown))
     }
 
+    /// Submit without blocking: the outcome lands on `queue` under
+    /// `token` once a worker finishes. The event-loop entry point — the
+    /// reactor tags each wire request and keeps reading other
+    /// connections while workers churn.
+    ///
+    /// # Errors
+    ///
+    /// Admission failures ([`FleetError::Overloaded`],
+    /// [`FleetError::ShuttingDown`]) surface immediately; every other
+    /// outcome is delivered through `queue`.
+    pub fn submit_tagged(
+        &self,
+        request: Request,
+        deadline: Duration,
+        token: u64,
+        queue: &Arc<CompletionQueue>,
+    ) -> Result<(), FleetError> {
+        self.inner.submit_reply(
+            request,
+            Instant::now() + deadline,
+            Reply::Tagged {
+                token,
+                queue: Arc::clone(queue),
+            },
+        )
+    }
+
+    /// Batched [`submit_tagged`](Self::submit_tagged): one queue-lock
+    /// acquisition admits (or sheds) every job, returning per-job
+    /// outcomes in input order. Emits `fleet.reactor.batch_width`.
+    pub fn submit_batch_tagged(
+        &self,
+        jobs: Vec<(Request, Duration, u64)>,
+        queue: &Arc<CompletionQueue>,
+    ) -> Vec<Result<(), FleetError>> {
+        let now = Instant::now();
+        divot_telemetry::observe("fleet.reactor.batch_width", jobs.len() as f64);
+        let jobs = jobs
+            .into_iter()
+            .map(|(request, deadline, token)| {
+                (
+                    request,
+                    now + deadline,
+                    Reply::Tagged {
+                        token,
+                        queue: Arc::clone(queue),
+                    },
+                )
+            })
+            .collect();
+        self.inner.submit_batch(jobs)
+    }
+
+    /// Serve `request` from the shared verdict cache without touching
+    /// the worker pool: `Some` only for memoizable kinds
+    /// (verify/scan) whose verdict is already cached under the device's
+    /// current enrollment generation. The returned response is
+    /// bit-for-bit what a worker would produce, and outcome counters
+    /// advance exactly as for a worker-served response.
+    pub fn try_cached(&self, request: &Request) -> Option<Response> {
+        let key = match request {
+            Request::Verify { device, nonce } => {
+                self.inner.verdict_key(VerdictKind::Verify, device, *nonce)?
+            }
+            Request::MonitorScan { device, nonce } => {
+                self.inner.verdict_key(VerdictKind::Scan, device, *nonce)?
+            }
+            Request::Enroll { .. } | Request::RegistrySnapshot => return None,
+        };
+        let response = self.inner.verdicts.peek(&key)?;
+        self.inner.note_outcome(&response);
+        Some(response)
+    }
+
+    /// Whether `device` exists in the simulated fleet (cheap O(1) map
+    /// probe — subscription registration validates against this).
+    pub fn device_known(&self, device: &str) -> bool {
+        self.inner.sim.device_index(device).is_some()
+    }
+
+    /// The deadline applied when a caller does not name one.
+    pub fn default_deadline(&self) -> Duration {
+        self.inner.config.default_deadline
+    }
+
+    /// The admission queue's capacity (shed-report context).
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.config.queue_capacity
+    }
+
     /// Current queue depth (diagnostics, load generators).
     pub fn queue_depth(&self) -> usize {
         self.inner
@@ -818,8 +1037,13 @@ mod tests {
                 Instant::now() + Duration::from_secs(10),
             ) {
                 Ok(rx) => receivers.push(rx),
-                Err(FleetError::Overloaded { depth, capacity }) => {
+                Err(FleetError::Overloaded {
+                    depth,
+                    capacity,
+                    reason,
+                }) => {
                     assert!(depth >= capacity, "shed below capacity");
+                    assert_eq!(reason, ShedReason::QueueFull);
                     sheds += 1;
                 }
                 Err(other) => panic!("unexpected {other:?}"),
@@ -1049,5 +1273,91 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert!(results.iter().all(|&a| a), "all genuine verifies accept");
+    }
+
+    #[test]
+    fn tagged_submissions_match_blocking_calls_bitwise() {
+        let svc = service(2, 2);
+        let client = svc.client();
+        for i in 0..2 {
+            client
+                .call(Request::Enroll {
+                    device: SimulatedFleet::device_name(i),
+                    nonce: 1,
+                })
+                .unwrap();
+        }
+        let woken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let woken2 = Arc::clone(&woken);
+        let queue = CompletionQueue::new(move || {
+            woken2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let jobs: Vec<(Request, Duration, u64)> = (0..8)
+            .map(|t| {
+                (
+                    Request::Verify {
+                        device: SimulatedFleet::device_name(t % 2),
+                        nonce: 9000 + t as u64,
+                    },
+                    Duration::from_secs(10),
+                    t as u64,
+                )
+            })
+            .collect();
+        let blocking: Vec<Response> = jobs
+            .iter()
+            .map(|(r, _, _)| client.call(r.clone()).unwrap())
+            .collect();
+        let outcomes = client.submit_batch_tagged(jobs, &queue);
+        assert!(outcomes.iter().all(Result::is_ok));
+        let mut done = Vec::new();
+        while done.len() < 8 {
+            queue.drain_into(&mut done);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            woken.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "waker must fire"
+        );
+        done.sort_by_key(|c| c.token);
+        for c in &done {
+            assert_eq!(
+                c.outcome.as_ref().unwrap(),
+                &blocking[c.token as usize],
+                "tagged outcome must be bitwise the blocking outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn try_cached_serves_only_warm_verdicts_identically() {
+        let svc = service(1, 1);
+        let client = svc.client();
+        client
+            .call(Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 1,
+            })
+            .unwrap();
+        let verify = Request::Verify {
+            device: "bus-000".into(),
+            nonce: 321,
+        };
+        assert_eq!(client.try_cached(&verify), None, "cold: not cached yet");
+        let served = client.call(verify.clone()).unwrap();
+        assert_eq!(
+            client.try_cached(&verify),
+            Some(served),
+            "warm: inline serve must be the identical response"
+        );
+        assert_eq!(client.try_cached(&Request::RegistrySnapshot), None);
+        assert_eq!(
+            client.try_cached(&Request::Enroll {
+                device: "bus-000".into(),
+                nonce: 2
+            }),
+            None,
+            "enrolls are never memoized"
+        );
     }
 }

@@ -49,6 +49,17 @@ const MASTER_DOMAIN: u64 = 0x4D53_5452;
 const SLAVE_DOMAIN: u64 = 0x534C_4156;
 /// Seed-derivation domain of transient-fault rolls.
 const FAULT_DOMAIN: u64 = 0xFA17_FA17;
+/// Seed-derivation domain of streaming-subscription scan frames.
+const SUB_DOMAIN: u64 = 0x5343_414E;
+
+/// The acquisition nonce of subscription frame `seq` under a
+/// subscription registered with `base` — one shared derivation used by
+/// the reactor's push path, the pipelined client, and the equivalence
+/// tests, so a pushed scan frame is bitwise-identical to an explicit
+/// [`crate::Request::MonitorScan`] issued with the same derived nonce.
+pub fn subscription_nonce(base: u64, seq: u64) -> u64 {
+    mix_seed(mix_seed(base, SUB_DOMAIN), seq)
+}
 
 /// Configuration of a simulated fleet.
 #[derive(Debug, Clone)]

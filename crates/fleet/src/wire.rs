@@ -9,12 +9,27 @@
 //! UTF-8; `f64`s travel as IEEE-754 bit patterns. No serialization
 //! dependency, no allocation beyond the payload buffers.
 //!
-//! The TCP server is a thin adapter: each connection thread decodes
-//! frames, drives the same in-process [`FleetClient`] every local caller
-//! uses, and encodes the result — so the wire path exercises exactly the
-//! admission, deadline, and retry machinery of [`crate::service`].
+//! Two protocol versions share the framing:
+//!
+//! - **v1** ([`WIRE_VERSION`]): one plain request per frame, bare
+//!   responses in request order — the [`TcpFleetClient`] contract.
+//! - **v2** ([`WIRE_VERSION_PIPELINED`]): requests carry a client-chosen
+//!   id; responses come back as [`ENVELOPE`]-marked events in
+//!   *completion* order, so many requests ride one connection
+//!   concurrently ([`PipelinedFleetClient`]). v2 also adds streaming
+//!   `MonitorScan` subscriptions: the server pushes scan frames on an
+//!   interval until the frame budget runs out or the client
+//!   unsubscribes.
+//!
+//! The TCP servers are thin adapters over the same in-process
+//! [`FleetClient`] every local caller uses, so the wire path exercises
+//! exactly the admission, deadline, and retry machinery of
+//! [`crate::service`]. [`FleetTcpServer::spawn`] runs the poll-based
+//! reactor ([`crate::reactor`]); [`FleetTcpServer::spawn_threaded`] is
+//! the original thread-per-connection transport, kept as the
+//! byte-equivalence reference.
 
-use crate::error::FleetError;
+use crate::error::{FleetError, ShedReason};
 use crate::service::{FleetClient, Request, Response};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -26,8 +41,13 @@ use std::time::Duration;
 /// Maximum frame payload accepted (1 MiB): snapshots of thousands of
 /// devices fit with room to spare.
 pub const MAX_FRAME: usize = 1 << 20;
-/// Wire protocol version.
+/// Wire protocol version 1: one plain request per frame, responses in
+/// request order.
 pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version 2: pipelined — requests carry a client-chosen
+/// id, responses come back as enveloped events in completion order, and
+/// connections may hold streaming scan subscriptions.
+pub const WIRE_VERSION_PIPELINED: u8 = 2;
 
 const TAG_ENROLL: u8 = 1;
 const TAG_VERIFY: u8 = 2;
@@ -38,6 +58,23 @@ const RESP_ENROLLED: u8 = 1;
 const RESP_VERDICT: u8 = 2;
 const RESP_SCAN: u8 = 3;
 const RESP_SNAPSHOT: u8 = 4;
+
+/// v2 request kinds (byte after the version byte).
+const REQ2_TAGGED: u8 = 1;
+const REQ2_SUBSCRIBE: u8 = 2;
+const REQ2_UNSUBSCRIBE: u8 = 3;
+
+/// First byte of every enveloped (v2) server→client frame. Plain v1
+/// responses start with a status byte `0..=7`, so the envelope marker
+/// makes the two stream formats self-distinguishing even on a mixed
+/// connection.
+pub const ENVELOPE: u8 = 0xE2;
+
+/// v2 event kinds (byte after the envelope marker).
+const EV_REPLY: u8 = 1;
+const EV_SUB_ACK: u8 = 2;
+const EV_SCAN_FRAME: u8 = 3;
+const EV_SUB_END: u8 = 4;
 
 /// Write one length-prefixed frame.
 ///
@@ -143,24 +180,7 @@ pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Vec<u8> 
     let mut out = vec![WIRE_VERSION];
     let ms = deadline.map_or(0, |d| d.as_millis().min(u128::from(u32::MAX)) as u32);
     out.extend_from_slice(&ms.to_le_bytes());
-    match request {
-        Request::Enroll { device, nonce } => {
-            out.push(TAG_ENROLL);
-            put_str(&mut out, device);
-            out.extend_from_slice(&nonce.to_le_bytes());
-        }
-        Request::Verify { device, nonce } => {
-            out.push(TAG_VERIFY);
-            put_str(&mut out, device);
-            out.extend_from_slice(&nonce.to_le_bytes());
-        }
-        Request::MonitorScan { device, nonce } => {
-            out.push(TAG_SCAN);
-            put_str(&mut out, device);
-            out.extend_from_slice(&nonce.to_le_bytes());
-        }
-        Request::RegistrySnapshot => out.push(TAG_SNAPSHOT),
-    }
+    put_request_body(&mut out, request);
     out
 }
 
@@ -181,23 +201,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(Request, Option<Duration>), Fle
     }
     let ms = c.u32()?;
     let deadline = (ms > 0).then(|| Duration::from_millis(u64::from(ms)));
-    let tag = c.u8()?;
-    let request = match tag {
-        TAG_ENROLL => Request::Enroll {
-            device: c.string()?,
-            nonce: c.u64()?,
-        },
-        TAG_VERIFY => Request::Verify {
-            device: c.string()?,
-            nonce: c.u64()?,
-        },
-        TAG_SCAN => Request::MonitorScan {
-            device: c.string()?,
-            nonce: c.u64()?,
-        },
-        TAG_SNAPSHOT => Request::RegistrySnapshot,
-        other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
-    };
+    let request = take_request_body(&mut c)?;
     c.finish()?;
     Ok((request, deadline))
 }
@@ -255,9 +259,14 @@ pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
         Err(err) => {
             out.push(err.code());
             match err {
-                FleetError::Overloaded { depth, capacity } => {
+                FleetError::Overloaded {
+                    depth,
+                    capacity,
+                    reason,
+                } => {
                     out.extend_from_slice(&(*depth as u32).to_le_bytes());
                     out.extend_from_slice(&(*capacity as u32).to_le_bytes());
+                    out.push(reason.code());
                 }
                 FleetError::AcquisitionFailed { attempts } => {
                     out.extend_from_slice(&attempts.to_le_bytes());
@@ -287,6 +296,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
             1 => FleetError::Overloaded {
                 depth: c.u32()? as usize,
                 capacity: c.u32()? as usize,
+                reason: ShedReason::from_code(c.u8()?)?,
             },
             2 => FleetError::DeadlineExceeded,
             3 => FleetError::UnknownDevice(c.string()?),
@@ -335,36 +345,469 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
     Ok(response)
 }
 
+// ---------------------------------------------------------------------
+// v2: pipelined requests, enveloped events, streaming subscriptions.
+// ---------------------------------------------------------------------
+
+/// Any request frame a server connection can receive, across both wire
+/// versions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// A v1 request: unpipelined, answered in arrival order with a bare
+    /// response frame.
+    Plain {
+        /// The request.
+        request: Request,
+        /// Explicit deadline, `None` = server default.
+        deadline: Option<Duration>,
+    },
+    /// A v2 pipelined request: answered with an enveloped reply carrying
+    /// `id` back, in completion (not arrival) order.
+    Tagged {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The request.
+        request: Request,
+        /// Explicit deadline, `None` = server default.
+        deadline: Option<Duration>,
+    },
+    /// Register a streaming MonitorScan subscription: the server pushes
+    /// one scan frame per interval, each acquired under
+    /// [`crate::sim::subscription_nonce`]`(base_nonce, seq)`.
+    Subscribe {
+        /// Client-chosen subscription id (scan frames carry it back).
+        id: u64,
+        /// Device to watch.
+        device: String,
+        /// Base nonce the per-frame nonces derive from.
+        base_nonce: u64,
+        /// Push interval.
+        interval: Duration,
+        /// Frames to push before the server ends the subscription
+        /// (`0` = unbounded, until unsubscribe or disconnect).
+        max_frames: u32,
+    },
+    /// Cancel a subscription by its id.
+    Unsubscribe {
+        /// Correlation id of this request (unused in the reply path —
+        /// the end-of-stream event carries `target`).
+        id: u64,
+        /// The subscription id to cancel.
+        target: u64,
+    },
+}
+
+/// Encode a v2 tagged request.
+pub fn encode_request_tagged(id: u64, request: &Request, deadline: Option<Duration>) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION_PIPELINED, REQ2_TAGGED];
+    out.extend_from_slice(&id.to_le_bytes());
+    let ms = deadline.map_or(0, |d| d.as_millis().min(u128::from(u32::MAX)) as u32);
+    out.extend_from_slice(&ms.to_le_bytes());
+    put_request_body(&mut out, request);
+    out
+}
+
+/// Encode a v2 subscribe request.
+pub fn encode_subscribe(
+    id: u64,
+    device: &str,
+    base_nonce: u64,
+    interval: Duration,
+    max_frames: u32,
+) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION_PIPELINED, REQ2_SUBSCRIBE];
+    out.extend_from_slice(&id.to_le_bytes());
+    put_str(&mut out, device);
+    out.extend_from_slice(&base_nonce.to_le_bytes());
+    let ms = interval.as_millis().min(u128::from(u32::MAX)) as u32;
+    out.extend_from_slice(&ms.to_le_bytes());
+    out.extend_from_slice(&max_frames.to_le_bytes());
+    out
+}
+
+/// Encode a v2 unsubscribe request.
+pub fn encode_unsubscribe(id: u64, target: u64) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION_PIPELINED, REQ2_UNSUBSCRIBE];
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&target.to_le_bytes());
+    out
+}
+
+/// The tag + fields of a request (shared by v1 and v2 encodings).
+fn put_request_body(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Enroll { device, nonce } => {
+            out.push(TAG_ENROLL);
+            put_str(out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::Verify { device, nonce } => {
+            out.push(TAG_VERIFY);
+            put_str(out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::MonitorScan { device, nonce } => {
+            out.push(TAG_SCAN);
+            put_str(out, device);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Request::RegistrySnapshot => out.push(TAG_SNAPSHOT),
+    }
+}
+
+fn take_request_body(c: &mut Cursor<'_>) -> Result<Request, FleetError> {
+    let tag = c.u8()?;
+    Ok(match tag {
+        TAG_ENROLL => Request::Enroll {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_VERIFY => Request::Verify {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_SCAN => Request::MonitorScan {
+            device: c.string()?,
+            nonce: c.u64()?,
+        },
+        TAG_SNAPSHOT => Request::RegistrySnapshot,
+        other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
+    })
+}
+
+/// Decode any request frame, v1 or v2.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Protocol`] on unknown versions/kinds/tags,
+/// truncation, or trailing bytes.
+pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, FleetError> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    match version {
+        WIRE_VERSION => {
+            let (request, deadline) = decode_request(payload)?;
+            Ok(WireRequest::Plain { request, deadline })
+        }
+        WIRE_VERSION_PIPELINED => {
+            let kind = c.u8()?;
+            let decoded = match kind {
+                REQ2_TAGGED => {
+                    let id = c.u64()?;
+                    let ms = c.u32()?;
+                    let deadline = (ms > 0).then(|| Duration::from_millis(u64::from(ms)));
+                    let request = take_request_body(&mut c)?;
+                    WireRequest::Tagged {
+                        id,
+                        request,
+                        deadline,
+                    }
+                }
+                REQ2_SUBSCRIBE => WireRequest::Subscribe {
+                    id: c.u64()?,
+                    device: c.string()?,
+                    base_nonce: c.u64()?,
+                    interval: Duration::from_millis(u64::from(c.u32()?)),
+                    max_frames: c.u32()?,
+                },
+                REQ2_UNSUBSCRIBE => WireRequest::Unsubscribe {
+                    id: c.u64()?,
+                    target: c.u64()?,
+                },
+                other => {
+                    return Err(FleetError::Protocol(format!(
+                        "unknown v2 request kind {other}"
+                    )))
+                }
+            };
+            c.finish()?;
+            Ok(decoded)
+        }
+        other => Err(FleetError::Protocol(format!(
+            "unsupported wire version {other}"
+        ))),
+    }
+}
+
+/// Any server→client frame, across both wire versions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A bare v1 response (answer to a [`WireRequest::Plain`]).
+    Plain(Box<Result<Response, FleetError>>),
+    /// The enveloped answer to a [`WireRequest::Tagged`].
+    Reply {
+        /// The id the request carried.
+        id: u64,
+        /// The outcome, exactly as a blocking caller would see it.
+        outcome: Box<Result<Response, FleetError>>,
+    },
+    /// The server accepted a subscription.
+    SubAck {
+        /// The subscription id.
+        id: u64,
+        /// The interval the server will push at.
+        interval: Duration,
+    },
+    /// One pushed scan frame of a subscription.
+    ScanFrame {
+        /// The subscription id.
+        id: u64,
+        /// Frame sequence number (0-based).
+        seq: u64,
+        /// The scan outcome (bitwise what an explicit `MonitorScan`
+        /// under the derived nonce returns).
+        outcome: Box<Result<Response, FleetError>>,
+    },
+    /// A subscription ended (frame budget exhausted, unsubscribe, or
+    /// device error).
+    SubEnd {
+        /// The subscription id.
+        id: u64,
+        /// Total frames pushed over its lifetime.
+        frames: u64,
+    },
+}
+
+/// Encode the enveloped answer to a tagged request.
+pub fn encode_tagged_response(id: u64, outcome: &Result<Response, FleetError>) -> Vec<u8> {
+    let mut out = vec![ENVELOPE, EV_REPLY];
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&encode_response(outcome));
+    out
+}
+
+/// Encode a subscription acknowledgement.
+pub fn encode_sub_ack(id: u64, interval: Duration) -> Vec<u8> {
+    let mut out = vec![ENVELOPE, EV_SUB_ACK];
+    out.extend_from_slice(&id.to_le_bytes());
+    let ms = interval.as_millis().min(u128::from(u32::MAX)) as u32;
+    out.extend_from_slice(&ms.to_le_bytes());
+    out
+}
+
+/// Encode one pushed scan frame.
+pub fn encode_scan_frame(id: u64, seq: u64, outcome: &Result<Response, FleetError>) -> Vec<u8> {
+    let mut out = vec![ENVELOPE, EV_SCAN_FRAME];
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&encode_response(outcome));
+    out
+}
+
+/// Encode a subscription end-of-stream marker.
+pub fn encode_sub_end(id: u64, frames: u64) -> Vec<u8> {
+    let mut out = vec![ENVELOPE, EV_SUB_END];
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&frames.to_le_bytes());
+    out
+}
+
+/// Decode any server→client frame (bare v1 response or v2 envelope).
+///
+/// # Errors
+///
+/// Returns [`FleetError::Protocol`] on malformed payloads. A decoded
+/// *typed* service error is carried inside the event, not returned as
+/// this function's `Err`.
+pub fn decode_event(payload: &[u8]) -> Result<WireEvent, FleetError> {
+    if payload.first() != Some(&ENVELOPE) {
+        return Ok(WireEvent::Plain(Box::new(decode_response(payload))));
+    }
+    let mut c = Cursor::new(payload);
+    c.u8()?; // envelope marker
+    let kind = c.u8()?;
+    match kind {
+        EV_REPLY => {
+            let id = c.u64()?;
+            let outcome = decode_outcome(&payload[c.pos..])?;
+            Ok(WireEvent::Reply {
+                id,
+                outcome: Box::new(outcome),
+            })
+        }
+        EV_SUB_ACK => {
+            let id = c.u64()?;
+            let interval = Duration::from_millis(u64::from(c.u32()?));
+            c.finish()?;
+            Ok(WireEvent::SubAck { id, interval })
+        }
+        EV_SCAN_FRAME => {
+            let id = c.u64()?;
+            let seq = c.u64()?;
+            let outcome = decode_outcome(&payload[c.pos..])?;
+            Ok(WireEvent::ScanFrame {
+                id,
+                seq,
+                outcome: Box::new(outcome),
+            })
+        }
+        EV_SUB_END => {
+            let id = c.u64()?;
+            let frames = c.u64()?;
+            c.finish()?;
+            Ok(WireEvent::SubEnd { id, frames })
+        }
+        other => Err(FleetError::Protocol(format!("unknown event kind {other}"))),
+    }
+}
+
+/// Decode a response tail, keeping malformed-payload errors (`Protocol`
+/// from the decoder itself) distinguishable from decoded typed errors.
+fn decode_outcome(tail: &[u8]) -> Result<Result<Response, FleetError>, FleetError> {
+    match decode_response(tail) {
+        Ok(r) => Ok(Ok(r)),
+        // An encoded Protocol error and a local decode failure are the
+        // same variant; treating both as the carried outcome is safe —
+        // either way the caller sees a Protocol error for this event.
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+/// An incremental frame decoder over a growing byte buffer: feed it
+/// arbitrarily-chunked reads, pull complete frames out. The reactor
+/// keeps one per connection; a frame may straddle any number of reads.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly-read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pop the next complete frame payload, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Protocol`] when the next length prefix
+    /// exceeds [`MAX_FRAME`] — the stream is unrecoverable from here and
+    /// the connection must be killed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FleetError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(FleetError::Protocol(format!(
+                "frame of {len} bytes exceeds MAX_FRAME"
+            )));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Reclaim consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > (64 << 10)) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 /// A TCP front end for a fleet service: accepts connections on a
 /// loopback (or any) address and serves frames until dropped.
+///
+/// Two transports share this handle:
+///
+/// - [`spawn`](Self::spawn) — the poll-based reactor: one thread
+///   multiplexes every connection (nonblocking sockets + readiness
+///   loop), with pipelining, same-device verify coalescing, inline
+///   verdict-cache serving, fair-share admission, and streaming scan
+///   subscriptions. See [`crate::reactor`].
+/// - [`spawn_threaded`](Self::spawn_threaded) — the original
+///   thread-per-connection blocking server, kept as the equivalence
+///   reference: the reactor must produce byte-identical responses for
+///   identical request sequences.
 pub struct FleetTcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    thread: Option<JoinHandle<()>>,
+    /// `Some` for the reactor transport: dropping notifies the loop
+    /// instead of poking it with a throwaway connection.
+    poller: Option<Arc<divot_polling::Poller>>,
 }
 
 impl std::fmt::Debug for FleetTcpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetTcpServer")
             .field("addr", &self.addr)
+            .field("reactor", &self.poller.is_some())
             .finish()
     }
 }
 
 impl FleetTcpServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start accepting connections, serving each on its own thread via
-    /// the given in-process client.
+    /// serve every connection from one poll-based reactor thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/poller-creation failures.
+    pub fn spawn(client: FleetClient, addr: &str) -> std::io::Result<Self> {
+        Self::spawn_reactor(client, addr, crate::reactor::ReactorConfig::default())
+    }
+
+    /// [`spawn`](Self::spawn) with explicit reactor tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/poller-creation failures.
+    pub fn spawn_reactor(
+        client: FleetClient,
+        addr: &str,
+        config: crate::reactor::ReactorConfig,
+    ) -> std::io::Result<Self> {
+        let handle = crate::reactor::spawn(client, addr, config)?;
+        Ok(Self {
+            addr: handle.addr,
+            shutdown: handle.shutdown,
+            thread: Some(handle.thread),
+            poller: Some(handle.poller),
+        })
+    }
+
+    /// Bind `addr` and serve each connection on its own blocking thread
+    /// — the pre-reactor transport, retained as the byte-equivalence
+    /// reference and for A/B benchmarking.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
-    pub fn spawn(client: FleetClient, addr: &str) -> std::io::Result<Self> {
+    pub fn spawn_threaded(client: FleetClient, addr: &str) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
+        let thread = std::thread::Builder::new()
             .name("fleet-accept".into())
             .spawn(move || {
                 for stream in listener.incoming() {
@@ -381,7 +824,8 @@ impl FleetTcpServer {
         Ok(Self {
             addr,
             shutdown,
-            accept_thread: Some(accept_thread),
+            thread: Some(thread),
+            poller: None,
         })
     }
 
@@ -394,16 +838,22 @@ impl FleetTcpServer {
 impl Drop for FleetTcpServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
+        match &self.poller {
+            Some(p) => p.notify(),
+            // Unblock the blocking accept loop with a throwaway
+            // connection.
+            None => drop(TcpStream::connect(self.addr)),
+        }
+        if let Some(h) = self.thread.take() {
             let _ = h.join();
         }
     }
 }
 
-/// Serve one connection: request frame in, response frame out, until the
-/// peer hangs up or a transport error occurs.
+/// Serve one blocking connection: request frame in, response frame out,
+/// until the peer hangs up or a transport error occurs. Understands v1
+/// plain and v2 tagged requests (strictly serially — pipelining needs
+/// the reactor); subscription frames are answered with a typed error.
 fn serve_connection(mut stream: TcpStream, client: &FleetClient) {
     loop {
         let payload = match read_frame(&mut stream) {
@@ -411,14 +861,180 @@ fn serve_connection(mut stream: TcpStream, client: &FleetClient) {
             Err(_) => return, // EOF or broken pipe: peer is done.
         };
         divot_telemetry::inc("fleet.tcp.frames");
-        let outcome = match decode_request(&payload) {
-            Ok((request, Some(deadline))) => client.call_with_deadline(request, deadline),
-            Ok((request, None)) => client.call(request),
-            Err(e) => Err(e),
+        let call = |request: Request, deadline: Option<Duration>| match deadline {
+            Some(d) => client.call_with_deadline(request, d),
+            None => client.call(request),
         };
-        if write_frame(&mut stream, &encode_response(&outcome)).is_err() {
+        let reply = match decode_wire_request(&payload) {
+            Ok(WireRequest::Plain { request, deadline }) => {
+                encode_response(&call(request, deadline))
+            }
+            Ok(WireRequest::Tagged {
+                id,
+                request,
+                deadline,
+            }) => encode_tagged_response(id, &call(request, deadline)),
+            Ok(WireRequest::Subscribe { id, .. }) => encode_tagged_response(
+                id,
+                &Err(FleetError::Protocol(
+                    "subscriptions require the reactor transport".into(),
+                )),
+            ),
+            Ok(WireRequest::Unsubscribe { id, .. }) => encode_tagged_response(
+                id,
+                &Err(FleetError::Protocol(
+                    "subscriptions require the reactor transport".into(),
+                )),
+            ),
+            Err(e) => encode_response(&Err(e)),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
             return;
         }
+    }
+}
+
+/// A blocking *pipelined* TCP client speaking wire v2: many tagged
+/// requests in flight on one connection, events received in completion
+/// order. Send and receive halves share the socket but not a lock —
+/// interleave [`send`](Self::send)/[`send_batch`](Self::send_batch)
+/// with [`recv_event`](Self::recv_event) as the workload requires.
+#[derive(Debug)]
+pub struct PipelinedFleetClient {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    next_id: u64,
+}
+
+impl PipelinedFleetClient {
+    /// Connect to a [`FleetTcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            frames: FrameBuffer::new(),
+            next_id: 0,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Fire one tagged request without waiting; returns the id its
+    /// reply will carry.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`].
+    pub fn send(
+        &mut self,
+        request: &Request,
+        deadline: Option<Duration>,
+    ) -> Result<u64, FleetError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &encode_request_tagged(id, request, deadline),
+        )?;
+        Ok(id)
+    }
+
+    /// Fire a batch of tagged requests as one vectored write (a single
+    /// syscall carries the whole pipeline window).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`].
+    pub fn send_batch(
+        &mut self,
+        requests: &[(Request, Option<Duration>)],
+    ) -> Result<Vec<u64>, FleetError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut wire = Vec::new();
+        for (request, deadline) in requests {
+            let id = self.fresh_id();
+            let payload = encode_request_tagged(id, request, *deadline);
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&payload);
+            ids.push(id);
+        }
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        Ok(ids)
+    }
+
+    /// Register a streaming scan subscription; returns its id. The
+    /// server answers with [`WireEvent::SubAck`], then pushes
+    /// [`WireEvent::ScanFrame`]s.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`].
+    pub fn subscribe(
+        &mut self,
+        device: &str,
+        base_nonce: u64,
+        interval: Duration,
+        max_frames: u32,
+    ) -> Result<u64, FleetError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &encode_subscribe(id, device, base_nonce, interval, max_frames),
+        )?;
+        Ok(id)
+    }
+
+    /// Cancel subscription `target`; the server answers with its
+    /// [`WireEvent::SubEnd`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`].
+    pub fn unsubscribe(&mut self, target: u64) -> Result<(), FleetError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &encode_unsubscribe(id, target))?;
+        Ok(())
+    }
+
+    /// Block until the next server event arrives (reply, scan frame, or
+    /// subscription lifecycle marker).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`]; malformed
+    /// frames as [`FleetError::Protocol`].
+    pub fn recv_event(&mut self) -> Result<WireEvent, FleetError> {
+        loop {
+            if let Some(payload) = self.frames.next_frame()? {
+                return decode_event(&payload);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(FleetError::Io("connection closed".into()));
+            }
+            self.frames.extend(&chunk[..n]);
+        }
+    }
+
+    /// Apply a read timeout to [`recv_event`](Self::recv_event)
+    /// (`None` = block forever). Timeouts surface as
+    /// [`FleetError::Io`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the setsockopt failure.
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 }
 
@@ -571,6 +1187,12 @@ mod tests {
             FleetError::Overloaded {
                 depth: 9,
                 capacity: 8,
+                reason: ShedReason::QueueFull,
+            },
+            FleetError::Overloaded {
+                depth: 3,
+                capacity: 8,
+                reason: ShedReason::FairShare,
             },
             FleetError::DeadlineExceeded,
             FleetError::UnknownDevice("ghost".into()),
@@ -621,6 +1243,127 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn v2_requests_round_trip() {
+        let verify = Request::Verify {
+            device: "bus-007".into(),
+            nonce: 1234,
+        };
+        let bytes = encode_request_tagged(99, &verify, Some(Duration::from_millis(250)));
+        assert_eq!(
+            decode_wire_request(&bytes).unwrap(),
+            WireRequest::Tagged {
+                id: 99,
+                request: verify,
+                deadline: Some(Duration::from_millis(250)),
+            }
+        );
+        let bytes = encode_subscribe(5, "bus-001", 777, Duration::from_millis(20), 16);
+        assert_eq!(
+            decode_wire_request(&bytes).unwrap(),
+            WireRequest::Subscribe {
+                id: 5,
+                device: "bus-001".into(),
+                base_nonce: 777,
+                interval: Duration::from_millis(20),
+                max_frames: 16,
+            }
+        );
+        let bytes = encode_unsubscribe(6, 5);
+        assert_eq!(
+            decode_wire_request(&bytes).unwrap(),
+            WireRequest::Unsubscribe { id: 6, target: 5 }
+        );
+        // A v1 frame decodes as Plain through the same entry point.
+        let bytes = encode_request(&Request::RegistrySnapshot, None);
+        assert_eq!(
+            decode_wire_request(&bytes).unwrap(),
+            WireRequest::Plain {
+                request: Request::RegistrySnapshot,
+                deadline: None,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_events_round_trip() {
+        let verdict = Ok(Response::Verdict {
+            device: "bus-000".into(),
+            accepted: true,
+            similarity: 0.97,
+        });
+        match decode_event(&encode_tagged_response(42, &verdict)).unwrap() {
+            WireEvent::Reply { id, outcome } => {
+                assert_eq!(id, 42);
+                assert_eq!(*outcome, verdict);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let scan = Ok(Response::Scan {
+            device: "bus-001".into(),
+            detected: false,
+            max_error: 1e-4,
+            location_m: None,
+        });
+        match decode_event(&encode_scan_frame(7, 3, &scan)).unwrap() {
+            WireEvent::ScanFrame { id, seq, outcome } => {
+                assert_eq!((id, seq), (7, 3));
+                assert_eq!(*outcome, scan);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            decode_event(&encode_sub_ack(9, Duration::from_millis(15))).unwrap(),
+            WireEvent::SubAck {
+                id: 9,
+                interval: Duration::from_millis(15),
+            }
+        );
+        assert_eq!(
+            decode_event(&encode_sub_end(9, 128)).unwrap(),
+            WireEvent::SubEnd { id: 9, frames: 128 }
+        );
+        // A bare v1 response decodes as Plain.
+        let err = Err(FleetError::DeadlineExceeded);
+        match decode_event(&encode_response(&err)).unwrap() {
+            WireEvent::Plain(outcome) => assert_eq!(*outcome, err),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        let payloads: Vec<Vec<u8>> = (0..5)
+            .map(|i| encode_request(&Request::Verify {
+                device: format!("bus-{i:03}"),
+                nonce: i,
+            }, None))
+            .collect();
+        for p in &payloads {
+            wire.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            wire.extend_from_slice(p);
+        }
+        // Feed one byte at a time: every frame must come out intact.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_lengths() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(FleetError::Protocol(_))));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Property pins for the incremental frame decoder and the v2 codec —
+//! the robustness half of the reactor contract: however the kernel
+//! slices the byte stream, and whatever bytes a client throws at the
+//! server, the decoder reassembles exactly what was sent, rejects
+//! oversized lengths with a typed error, and never panics.
+
+use std::time::Duration;
+
+use divot_fleet::wire::{
+    decode_event, decode_wire_request, encode_request, encode_request_tagged, encode_scan_frame,
+    encode_sub_ack, encode_sub_end, encode_subscribe, encode_tagged_response, encode_unsubscribe,
+    FrameBuffer, MAX_FRAME,
+};
+use divot_fleet::{FleetError, Request, Response, WireEvent, WireRequest};
+use proptest::prelude::*;
+
+/// Length-prefix a payload the way `write_frame` does.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Feed `wire` into a fresh `FrameBuffer` sliced at `cuts`, collecting
+/// every decoded frame (and stopping at the first decode error).
+fn decode_sliced(wire: &[u8], cuts: &[usize]) -> Result<Vec<Vec<u8>>, FleetError> {
+    let mut buf = FrameBuffer::new();
+    let mut frames = Vec::new();
+    let mut fed = 0usize;
+    let feed = |buf: &mut FrameBuffer, upto: usize, fed: &mut usize| {
+        let upto = upto.min(wire.len()).max(*fed);
+        buf.extend(&wire[*fed..upto]);
+        *fed = upto;
+    };
+    let mut boundaries: Vec<usize> = cuts.to_vec();
+    boundaries.push(wire.len());
+    for upto in boundaries {
+        feed(&mut buf, upto, &mut fed);
+        while let Some(frame) = buf.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any frame sequence, split at arbitrary byte boundaries (including
+    /// one-byte feeds and feeds straddling frame boundaries), decodes to
+    /// exactly the payloads that were framed — same count, same bytes,
+    /// same order.
+    #[test]
+    fn arbitrary_splits_reassemble_exactly(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300),
+            1..8,
+        ),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&framed(p));
+        }
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+        cuts.sort_unstable();
+        let frames = decode_sliced(&wire, &cuts).expect("well-formed stream");
+        prop_assert_eq!(frames, payloads);
+    }
+
+    /// A length prefix beyond `MAX_FRAME` is rejected with the typed
+    /// protocol error before any payload bytes arrive — the decoder
+    /// never buffers toward an attacker-chosen length.
+    #[test]
+    fn oversized_lengths_are_rejected_eagerly(
+        excess in 1u32..1024,
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = FrameBuffer::new();
+        let len = MAX_FRAME as u32 + excess;
+        buf.extend(&len.to_le_bytes());
+        buf.extend(&junk);
+        let err = loop {
+            match buf.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("oversized length must not wait for bytes"),
+                Err(e) => break e,
+            }
+        };
+        prop_assert!(matches!(err, FleetError::Protocol(_)), "{err:?}");
+    }
+
+    /// Arbitrary garbage — fed in arbitrary slices — never panics the
+    /// decoder stack: framing either yields frames or a typed error, and
+    /// whatever frames come out, request/event decoding returns a typed
+    /// result too.
+    #[test]
+    fn garbage_never_panics_the_decoder(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (garbage.len() + 1)).collect();
+        cuts.sort_unstable();
+        if let Ok(frames) = decode_sliced(&garbage, &cuts) {
+            for frame in frames {
+                let _ = decode_wire_request(&frame);
+                let _ = decode_event(&frame);
+            }
+        }
+    }
+
+    /// v1 and v2 request frames round-trip the codec bit-exactly.
+    #[test]
+    fn wire_requests_round_trip(
+        id in any::<u64>(),
+        device_seed in any::<u64>(),
+        nonce in any::<u64>(),
+        deadline_ms in 0u32..100_000,
+        interval_ms in 1u32..60_000,
+        max_frames in any::<u32>(),
+        kind in 0usize..4,
+    ) {
+        let device = format!("bus-{device_seed:016x}");
+        // 0 doubles as "no explicit deadline".
+        let deadline =
+            (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+        let request = Request::Verify { device: device.clone(), nonce };
+        let (wire, expect) = match kind {
+            0 => (
+                encode_request(&request, deadline),
+                WireRequest::Plain { request: request.clone(), deadline },
+            ),
+            1 => (
+                encode_request_tagged(id, &request, deadline),
+                WireRequest::Tagged { id, request: request.clone(), deadline },
+            ),
+            2 => (
+                encode_subscribe(
+                    id,
+                    &device,
+                    nonce,
+                    Duration::from_millis(u64::from(interval_ms)),
+                    max_frames,
+                ),
+                WireRequest::Subscribe {
+                    id,
+                    device: device.clone(),
+                    base_nonce: nonce,
+                    interval: Duration::from_millis(u64::from(interval_ms)),
+                    max_frames,
+                },
+            ),
+            _ => (
+                encode_unsubscribe(id, nonce),
+                WireRequest::Unsubscribe { id, target: nonce },
+            ),
+        };
+        prop_assert_eq!(decode_wire_request(&wire).expect("decodes"), expect);
+    }
+
+    /// v2 server events round-trip the codec bit-exactly (including the
+    /// f64 similarity bits inside a carried verdict).
+    #[test]
+    fn wire_events_round_trip(
+        id in any::<u64>(),
+        seq in any::<u64>(),
+        device_seed in any::<u64>(),
+        similarity in any::<f64>(),
+        accepted in any::<bool>(),
+        interval_ms in 1u32..60_000,
+        kind in 0usize..4,
+    ) {
+        let outcome: Result<Response, FleetError> = Ok(Response::Verdict {
+            device: format!("bus-{device_seed:016x}"),
+            accepted,
+            similarity,
+        });
+        let (wire, expect) = match kind {
+            0 => (
+                encode_tagged_response(id, &outcome),
+                WireEvent::Reply { id, outcome: Box::new(outcome.clone()) },
+            ),
+            1 => (
+                encode_sub_ack(id, Duration::from_millis(u64::from(interval_ms))),
+                WireEvent::SubAck {
+                    id,
+                    interval: Duration::from_millis(u64::from(interval_ms)),
+                },
+            ),
+            2 => (
+                encode_scan_frame(id, seq, &outcome),
+                WireEvent::ScanFrame { id, seq, outcome: Box::new(outcome.clone()) },
+            ),
+            _ => (
+                encode_sub_end(id, seq),
+                WireEvent::SubEnd { id, frames: seq },
+            ),
+        };
+        let got = decode_event(&wire).expect("decodes");
+        match (&got, &expect) {
+            // Compare similarity by bits: NaN-carrying verdicts must
+            // survive the wire too.
+            (
+                WireEvent::Reply { id: a, outcome: x },
+                WireEvent::Reply { id: b, outcome: y },
+            )
+            | (
+                WireEvent::ScanFrame { id: a, outcome: x, .. },
+                WireEvent::ScanFrame { id: b, outcome: y, .. },
+            ) => {
+                prop_assert_eq!(a, b);
+                match (x.as_ref(), y.as_ref()) {
+                    (
+                        Ok(Response::Verdict { similarity: sa, accepted: aa, device: da }),
+                        Ok(Response::Verdict { similarity: sb, accepted: ab, device: db }),
+                    ) => {
+                        prop_assert_eq!(sa.to_bits(), sb.to_bits());
+                        prop_assert_eq!(aa, ab);
+                        prop_assert_eq!(da, db);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            _ => prop_assert_eq!(got, expect),
+        }
+    }
+}

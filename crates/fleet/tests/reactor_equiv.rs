@@ -1,0 +1,223 @@
+//! Reactor ⇄ threaded-server equivalence and pipelined determinism.
+//!
+//! The reactor is an *optimization*: for a v1 conversation its byte
+//! stream must be identical to the thread-per-connection reference
+//! server's, and pipelined verdicts must be bitwise stable across
+//! worker counts (the fleet determinism contract lifted onto the
+//! wire). A malformed connection must die alone.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use divot_fleet::wire::{encode_request, encode_response, read_frame, write_frame};
+use divot_fleet::{
+    FleetConfig, FleetError, FleetService, FleetSimConfig, FleetTcpServer, PipelinedFleetClient,
+    Request, Response, SimulatedFleet, TcpFleetClient, WireEvent,
+};
+
+const SEED: u64 = 77;
+const BUSES: usize = 4;
+
+fn start_service(workers: usize) -> FleetService {
+    FleetService::start(
+        FleetConfig::default().with_workers(workers),
+        SimulatedFleet::new(FleetSimConfig::fast(BUSES, SEED)),
+    )
+}
+
+/// The v1 conversation both servers must answer byte-for-byte alike:
+/// enrolls, verifies (one repeated — the cache inline path), a scan, a
+/// snapshot, an unknown-device error, and a malformed payload.
+fn v1_script() -> Vec<Vec<u8>> {
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for i in 0..BUSES {
+        frames.push(encode_request(
+            &Request::Enroll {
+                device: SimulatedFleet::device_name(i),
+                nonce: 1,
+            },
+            None,
+        ));
+    }
+    for k in 0..8u64 {
+        frames.push(encode_request(
+            &Request::Verify {
+                device: SimulatedFleet::device_name((k % BUSES as u64) as usize),
+                nonce: 500 + k,
+            },
+            None,
+        ));
+    }
+    // Warm repeat: the reactor answers this from the verdict cache
+    // inline; the bytes must not differ from the threaded recompute.
+    frames.push(encode_request(
+        &Request::Verify {
+            device: SimulatedFleet::device_name(0),
+            nonce: 500,
+        },
+        None,
+    ));
+    frames.push(encode_request(
+        &Request::MonitorScan {
+            device: SimulatedFleet::device_name(1),
+            nonce: 42,
+        },
+        None,
+    ));
+    frames.push(encode_request(&Request::RegistrySnapshot, None));
+    frames.push(encode_request(
+        &Request::Verify {
+            device: "bus-404".into(),
+            nonce: 7,
+        },
+        None,
+    ));
+    // Unknown wire version: a typed protocol error, connection lives.
+    frames.push(vec![0x99, 0x01, 0x02]);
+    frames.push(encode_request(&Request::RegistrySnapshot, None));
+    frames
+}
+
+/// Run the script serially over one raw connection, returning every
+/// response payload.
+fn run_script(addr: std::net::SocketAddr, script: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut replies = Vec::with_capacity(script.len());
+    for frame in script {
+        write_frame(&mut stream, frame).expect("write");
+        replies.push(read_frame(&mut stream).expect("read"));
+    }
+    replies
+}
+
+#[test]
+fn reactor_and_threaded_servers_answer_v1_byte_identically() {
+    // Twin services from the same seed; one behind each server flavor.
+    let svc_a = start_service(2);
+    let svc_b = start_service(2);
+    let reactor = FleetTcpServer::spawn(svc_a.client(), "127.0.0.1:0").expect("bind");
+    let threaded = FleetTcpServer::spawn_threaded(svc_b.client(), "127.0.0.1:0").expect("bind");
+
+    let script = v1_script();
+    let from_reactor = run_script(reactor.local_addr(), &script);
+    let from_threaded = run_script(threaded.local_addr(), &script);
+
+    assert_eq!(from_reactor.len(), from_threaded.len());
+    for (i, (a, b)) in from_reactor.iter().zip(&from_threaded).enumerate() {
+        assert_eq!(a, b, "response {i} diverged between reactor and threaded");
+    }
+    drop(reactor);
+    drop(threaded);
+}
+
+#[test]
+fn pipelined_verdicts_are_bitwise_identical_across_worker_counts() {
+    // The same 64-deep pipelined batch — duplicates included, so the
+    // reactor's coalescing path is on it — must produce byte-identical
+    // outcomes whether 1, 2, or 8 workers race on it, and must match a
+    // serial blocking client on a twin service.
+    let requests: Vec<Request> = (0..64u64)
+        .map(|k| Request::Verify {
+            device: SimulatedFleet::device_name((k % BUSES as u64) as usize),
+            // Every fourth request is a duplicate of the previous one:
+            // concurrent identical verifies coalesce in the reactor.
+            nonce: 3000 + (k - u64::from(k % 4 == 3)),
+        })
+        .collect();
+
+    let mut per_worker_count: Vec<Vec<Vec<u8>>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let svc = start_service(workers);
+        let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind");
+        let mut ctl = TcpFleetClient::connect(server.local_addr()).expect("connect");
+        for i in 0..BUSES {
+            ctl.call(&Request::Enroll {
+                device: SimulatedFleet::device_name(i),
+                nonce: 1,
+            })
+            .expect("enroll");
+        }
+        let mut pipe = PipelinedFleetClient::connect(server.local_addr()).expect("connect");
+        let batch: Vec<(Request, Option<Duration>)> =
+            requests.iter().map(|r| (r.clone(), None)).collect();
+        let ids = pipe.send_batch(&batch).expect("send batch");
+        let mut replies: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
+        for _ in 0..ids.len() {
+            match pipe.recv_event().expect("event") {
+                WireEvent::Reply { id, outcome } => {
+                    let slot = ids.iter().position(|&x| x == id).expect("known id");
+                    assert!(replies[slot].is_none(), "duplicate reply for id {id}");
+                    replies[slot] = Some(encode_response(&outcome));
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        per_worker_count.push(replies.into_iter().map(|r| r.expect("replied")).collect());
+        drop(server);
+        drop(svc);
+    }
+    let reference = &per_worker_count[0];
+    for (w, got) in per_worker_count.iter().enumerate().skip(1) {
+        for (i, (a, b)) in reference.iter().zip(got).enumerate() {
+            assert_eq!(a, b, "request {i} diverged at worker-count index {w}");
+        }
+    }
+
+    // Serial blocking reference on a twin service: same bits again.
+    let svc = start_service(2);
+    let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind");
+    let mut ctl = TcpFleetClient::connect(server.local_addr()).expect("connect");
+    for i in 0..BUSES {
+        ctl.call(&Request::Enroll {
+            device: SimulatedFleet::device_name(i),
+            nonce: 1,
+        })
+        .expect("enroll");
+    }
+    for (i, request) in requests.iter().enumerate() {
+        let outcome = ctl.call(request);
+        assert_eq!(
+            encode_response(&outcome),
+            reference[i],
+            "blocking reference diverged at request {i}"
+        );
+    }
+}
+
+#[test]
+fn garbage_kills_only_the_offending_connection() {
+    let svc = start_service(2);
+    let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind");
+    let mut good = TcpFleetClient::connect(server.local_addr()).expect("connect");
+    good.call(&Request::Enroll {
+        device: SimulatedFleet::device_name(0),
+        nonce: 1,
+    })
+    .expect("enroll");
+
+    // A connection announcing an impossible frame length gets a typed
+    // error and a close...
+    let mut evil = TcpStream::connect(server.local_addr()).expect("connect");
+    evil.write_all(&u32::MAX.to_le_bytes()).expect("write");
+    evil.flush().expect("flush");
+    let reply = read_frame(&mut evil).expect("error frame before close");
+    let err = divot_fleet::wire::decode_response(&reply).expect_err("typed error");
+    assert!(matches!(err, FleetError::Protocol(_)), "{err:?}");
+    let eof = read_frame(&mut evil);
+    assert!(eof.is_err(), "oversized-length connection must be closed");
+
+    // ...while the well-behaved connection keeps verifying.
+    match good
+        .call(&Request::Verify {
+            device: SimulatedFleet::device_name(0),
+            nonce: 9,
+        })
+        .expect("good connection survives")
+    {
+        Response::Verdict { accepted, .. } => assert!(accepted),
+        other => panic!("unexpected {other:?}"),
+    }
+    drop(server);
+}

@@ -1,0 +1,163 @@
+//! Streaming MonitorScan subscriptions over the reactor transport.
+//!
+//! The push path must be *indistinguishable* from polling: frame `k` of
+//! a subscription carries bitwise the outcome an explicit `MonitorScan`
+//! under `subscription_nonce(base, k)` returns. Lifecycle: ack, frames
+//! in sequence order, end marker — and unsubscribe stops the stream.
+
+use std::time::Duration;
+
+use divot_fleet::wire::encode_response;
+use divot_fleet::{
+    subscription_nonce, FleetConfig, FleetError, FleetService, FleetSimConfig, FleetTcpServer,
+    PipelinedFleetClient, Request, SimulatedFleet, WireEvent,
+};
+
+const SEED: u64 = 91;
+
+fn start_fleet() -> (FleetService, FleetTcpServer) {
+    let svc = FleetService::start(
+        FleetConfig::default().with_workers(2),
+        SimulatedFleet::new(FleetSimConfig::fast(2, SEED)),
+    );
+    let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind");
+    (svc, server)
+}
+
+#[test]
+fn bounded_subscription_streams_exactly_its_frames_bitwise() {
+    let (svc, server) = start_fleet();
+    let device = SimulatedFleet::device_name(0);
+    let in_proc = svc.client();
+    in_proc
+        .call(Request::Enroll {
+            device: device.clone(),
+            nonce: 1,
+        })
+        .expect("enroll");
+
+    let base_nonce = 0xFEED;
+    let mut client = PipelinedFleetClient::connect(server.local_addr()).expect("connect");
+    let sub = client
+        .subscribe(&device, base_nonce, Duration::from_millis(2), 3)
+        .expect("subscribe");
+
+    match client.recv_event().expect("ack") {
+        WireEvent::SubAck { id, interval } => {
+            assert_eq!(id, sub);
+            assert_eq!(interval, Duration::from_millis(2));
+        }
+        other => panic!("expected ack, got {other:?}"),
+    }
+    for k in 0..3u64 {
+        match client.recv_event().expect("frame") {
+            WireEvent::ScanFrame { id, seq, outcome } => {
+                assert_eq!(id, sub);
+                assert_eq!(seq, k, "frames must arrive in sequence order");
+                // The pushed frame is bitwise the explicit scan under
+                // the derived nonce.
+                let reference = in_proc.call(Request::MonitorScan {
+                    device: device.clone(),
+                    nonce: subscription_nonce(base_nonce, k),
+                });
+                assert_eq!(
+                    encode_response(&outcome),
+                    encode_response(&reference),
+                    "pushed frame {k} diverged from explicit scan"
+                );
+            }
+            other => panic!("expected frame {k}, got {other:?}"),
+        }
+    }
+    match client.recv_event().expect("end") {
+        WireEvent::SubEnd { id, frames } => {
+            assert_eq!(id, sub);
+            assert_eq!(frames, 3);
+        }
+        other => panic!("expected end, got {other:?}"),
+    }
+    drop(server);
+    drop(svc);
+}
+
+#[test]
+fn unsubscribe_stops_an_unbounded_stream() {
+    let (svc, server) = start_fleet();
+    let device = SimulatedFleet::device_name(1);
+    svc.client()
+        .call(Request::Enroll {
+            device: device.clone(),
+            nonce: 1,
+        })
+        .expect("enroll");
+
+    let mut client = PipelinedFleetClient::connect(server.local_addr()).expect("connect");
+    let sub = client
+        .subscribe(&device, 7, Duration::from_millis(1), 0)
+        .expect("subscribe");
+    match client.recv_event().expect("ack") {
+        WireEvent::SubAck { id, .. } => assert_eq!(id, sub),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    // Let a couple of frames through, then cancel.
+    let mut seen = 0u64;
+    while seen < 2 {
+        match client.recv_event().expect("frame") {
+            WireEvent::ScanFrame { id, seq, .. } => {
+                assert_eq!(id, sub);
+                assert_eq!(seq, seen);
+                seen += 1;
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+    client.unsubscribe(sub).expect("unsubscribe");
+    // Frames already pushed may still be in flight; the end marker must
+    // arrive, and nothing after it.
+    let total = loop {
+        match client.recv_event().expect("event") {
+            WireEvent::ScanFrame { id, seq, .. } => {
+                assert_eq!(id, sub);
+                assert_eq!(seq, seen);
+                seen += 1;
+            }
+            WireEvent::SubEnd { id, frames } => {
+                assert_eq!(id, sub);
+                break frames;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    assert!(total >= 2, "at least the two observed frames were pushed");
+    client
+        .set_recv_timeout(Some(Duration::from_millis(50)))
+        .expect("timeout");
+    let after = client.recv_event();
+    assert!(
+        matches!(after, Err(FleetError::Io(_))),
+        "stream must be silent after the end marker, got {after:?}"
+    );
+    drop(server);
+    drop(svc);
+}
+
+#[test]
+fn subscribing_to_an_unknown_device_fails_typed() {
+    let (svc, server) = start_fleet();
+    let mut client = PipelinedFleetClient::connect(server.local_addr()).expect("connect");
+    let sub = client
+        .subscribe("bus-404", 1, Duration::from_millis(5), 1)
+        .expect("subscribe");
+    match client.recv_event().expect("reply") {
+        WireEvent::Reply { id, outcome } => {
+            assert_eq!(id, sub);
+            assert!(
+                matches!(*outcome, Err(FleetError::UnknownDevice(ref d)) if d == "bus-404"),
+                "{outcome:?}"
+            );
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+    drop(server);
+    drop(svc);
+}

@@ -49,10 +49,19 @@ fleet-demo:
 
 # Full fleet load benchmark: 64 buses, 16 concurrent clients, cold
 # (first-touch fabrication) and warm (cached) phases at 1 and 8 workers,
-# plus the overload/shedding phase. Writes BENCH_fleet.json (per-phase
-# throughput, p50/p99, speedups, shed rate) at the repo root.
+# the overload/shedding phase, and the wire phases (reactor-vs-threaded,
+# 10k connections, churn, fairness). Writes BENCH_fleet.json (per-phase
+# throughput, p50/p99, speedups, shed rate, wire metrics) at the repo
+# root.
 bench-fleet:
     cargo run --release -p divot-bench --bin fleet_load
+
+# Wire phases only: threaded-vs-reactor throughput at 1024 connections
+# (>=5x claim), byte-equivalence probe, 10k-connection scaling (child
+# driver), churn p99, and overload fairness. Writes BENCH_fleet.json with
+# the fleet/wire/* metrics.
+bench-wire:
+    DIVOT_FLEET_PHASES=wire cargo run --release -p divot-bench --bin fleet_load
 
 # Regenerate every paper figure/claim output into results/.
 figures:
