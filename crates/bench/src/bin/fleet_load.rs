@@ -284,6 +284,155 @@ fn quick_smoke() {
 }
 
 // ---------------------------------------------------------------------
+// Cohort cold path: batched enrollment intake
+// ---------------------------------------------------------------------
+
+/// Enroll a fresh cohort through chunked [`Request::EnrollBatch`]
+/// requests, measuring the amortized cold cost per board. One worker:
+/// the phase measures the algorithmic cold path (bracketed analytic
+/// sweeps, shared design precompute, batched clean acquisitions), not
+/// worker parallelism — scaling claims stay with the classic phases.
+fn cohort_phase(devices: usize, chunk: usize, cores: usize) -> Vec<(String, f64)> {
+    banner(&format!(
+        "cohort intake ({devices} boards, EnrollBatch chunks of {chunk}, 1 worker)"
+    ));
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
+    // Solo baseline on its own (identically configured) service: the
+    // same intake driven as one Enroll request per board.
+    let solo_sample = (devices / 8).clamp(8, 64);
+    let solo_ms_per_board = {
+        let svc = FleetService::start(
+            FleetConfig::default().with_workers(1),
+            SimulatedFleet::new(FleetSimConfig::fast(solo_sample, SEED)),
+        );
+        let client = svc.client();
+        let t0 = Instant::now();
+        for i in 0..solo_sample {
+            client
+                .call(Request::Enroll {
+                    device: SimulatedFleet::device_name(i),
+                    nonce: 1,
+                })
+                .expect("solo enroll");
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / solo_sample as f64
+    };
+    print_metric("solo_sample", solo_sample);
+    print_metric("solo_ms_per_board", format!("{solo_ms_per_board:.3}"));
+
+    let svc = FleetService::start(
+        FleetConfig::default().with_workers(1),
+        SimulatedFleet::new(FleetSimConfig::fast(devices, SEED)),
+    );
+    let client = svc.client();
+    let mut chunk_ms_per_board: Vec<f64> = Vec::new();
+    let mut enrolled = 0usize;
+    let started = Instant::now();
+    for start in (0..devices).step_by(chunk) {
+        let rows: Vec<(String, u64)> = (start..(start + chunk).min(devices))
+            .map(|i| (SimulatedFleet::device_name(i), 1))
+            .collect();
+        let n = rows.len();
+        let t0 = Instant::now();
+        match client
+            .call_with_deadline(
+                Request::EnrollBatch { devices: rows },
+                Duration::from_secs(600),
+            )
+            .expect("cohort batch")
+        {
+            Response::EnrolledBatch { devices: done } => enrolled += done.len(),
+            other => panic!("unexpected {other:?}"),
+        }
+        chunk_ms_per_board.push(t0.elapsed().as_secs_f64() * 1e3 / n as f64);
+    }
+    let total = started.elapsed();
+    chunk_ms_per_board.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p50 = chunk_ms_per_board[(chunk_ms_per_board.len() - 1) / 2];
+    let mean = total.as_secs_f64() * 1e3 / devices as f64;
+    let speedup = solo_ms_per_board / p50.max(1e-9);
+    print_metric("enrolled", enrolled);
+    print_metric("cohort_wall_clock_s", format!("{:.2}", total.as_secs_f64()));
+    print_metric("batch_ms_per_board_p50", format!("{p50:.3}"));
+    print_metric("batch_ms_per_board_mean", format!("{mean:.3}"));
+    print_metric("speedup_batch_over_solo", format!("{speedup:.2}"));
+    print_claim("cohort_all_enrolled", enrolled == devices);
+    // The ≤4 ms/board target is algorithmic (bracketed sweeps, one
+    // design precompute, hoisted point laws) — asserted on any host.
+    print_claim("cohort_cold_p50_under_4ms_per_board", p50 <= 4.0);
+    // Batch-over-solo wins come partly from fanning whole boards across
+    // cores; on a single-core host the ratio is reported, not asserted.
+    if cores >= 2 {
+        print_claim("cohort_batch_not_slower_than_solo", speedup >= 1.0);
+    } else {
+        print_metric(
+            "cohort_batch_not_slower_than_solo",
+            format!("{speedup:.2}x (reported only: 1 core, fan-out is serial)"),
+        );
+    }
+    // Spot-check: a cohort-enrolled board verifies like any other.
+    let accepts = [0, devices / 2, devices - 1].iter().all(|&i| {
+        matches!(
+            client.call(Request::Verify {
+                device: SimulatedFleet::device_name(i),
+                nonce: NONCE_BASE + i as u64,
+            }),
+            Ok(Response::Verdict { accepted: true, .. })
+        )
+    });
+    print_claim("cohort_spot_verifies_accept", accepts);
+
+    metrics.push(("fleet/cohort/devices".into(), devices as f64));
+    metrics.push(("fleet/cohort/chunk".into(), chunk as f64));
+    metrics.push(("fleet/cohort/batch_ms_per_board_p50".into(), p50));
+    metrics.push(("fleet/cohort/batch_ms_per_board_mean".into(), mean));
+    metrics.push(("fleet/cohort/solo_ms_per_board".into(), solo_ms_per_board));
+    metrics.push(("fleet/cohort/speedup_batch_over_solo".into(), speedup));
+    metrics
+}
+
+/// The `--quick` cohort smoke: one 64-board EnrollBatch must enroll
+/// everything inside the amortized cold budget and leave the cohort
+/// verifiable.
+fn quick_cohort_smoke() {
+    banner("cohort smoke (64-board EnrollBatch)");
+    const BOARDS: usize = 64;
+    let svc = FleetService::start(
+        FleetConfig::default().with_workers(1),
+        SimulatedFleet::new(FleetSimConfig::fast(BOARDS, SEED)),
+    );
+    let client = svc.client();
+    let rows: Vec<(String, u64)> = (0..BOARDS)
+        .map(|i| (SimulatedFleet::device_name(i), 1))
+        .collect();
+    let t0 = Instant::now();
+    let enrolled = match client
+        .call_with_deadline(
+            Request::EnrollBatch { devices: rows },
+            Duration::from_secs(600),
+        )
+        .expect("cohort smoke batch")
+    {
+        Response::EnrolledBatch { devices } => devices.len(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let per_board_ms = t0.elapsed().as_secs_f64() * 1e3 / BOARDS as f64;
+    print_metric("boards", BOARDS);
+    print_metric("batch_ms_per_board", format!("{per_board_ms:.3}"));
+    print_claim("cohort_smoke_all_enrolled", enrolled == BOARDS);
+    print_claim("cohort_smoke_under_4ms_per_board", per_board_ms <= 4.0);
+    let ok = matches!(
+        client.call(Request::Verify {
+            device: SimulatedFleet::device_name(BOARDS - 1),
+            nonce: 42,
+        }),
+        Ok(Response::Verdict { accepted: true, .. })
+    );
+    print_claim("cohort_smoke_verify_accepts", ok);
+}
+
+// ---------------------------------------------------------------------
 // Event-driven wire layer: connection-scaling load driver and phases
 // ---------------------------------------------------------------------
 
@@ -1261,15 +1410,18 @@ fn main() -> std::process::ExitCode {
     let cli = BenchCli::parse();
     if cli.quick() {
         quick_smoke();
+        quick_cohort_smoke();
         quick_wire_smoke();
         return cli.finish();
     }
 
     // `DIVOT_FLEET_PHASES`: `all` (default), `classic` (worker-scaling
-    // and overload only), or `wire` (the event-driven wire layer only —
-    // what `just bench-wire` runs).
+    // and overload only), `cohort` (the batched-enrollment cold path —
+    // what `just bench-cohort` runs), or `wire` (the event-driven wire
+    // layer only — what `just bench-wire` runs).
     let phases = std::env::var("DIVOT_FLEET_PHASES").unwrap_or_else(|_| "all".to_owned());
     let run_classic = matches!(phases.as_str(), "all" | "classic");
+    let run_cohort = matches!(phases.as_str(), "all" | "cohort");
     let run_wire = matches!(phases.as_str(), "all" | "wire");
 
     const BUSES: usize = 64;
@@ -1303,6 +1455,9 @@ fn main() -> std::process::ExitCode {
     }
 
     let mut wire_metrics: Vec<(String, f64)> = Vec::new();
+    if run_cohort {
+        wire_metrics.extend(cohort_phase(1000, 64, cores));
+    }
     if run_wire {
         wire_metrics.extend(wire_scaling_phases());
         wire_metrics.extend(wire_fairness_phase());

@@ -212,6 +212,76 @@ impl AcqTelemetry {
     }
 }
 
+/// Deterministic per-call precomputation for the analytic sweep: the
+/// distinct-level schedule plus its levels indexed in ascending order,
+/// so each point kernel can *bracket* — binary-search the saturated
+/// tails of the schedule instead of testing every level.
+///
+/// `rank[i]` is the position of schedule entry `i` in ascending-level
+/// order, `levels_asc` are the levels in that order, and `prefix[k]` is
+/// the total trigger count of the `k` lowest levels. The trip
+/// probability is monotone non-increasing in the reference level, so
+/// the `p = 1` saturated levels always form a prefix of the ascending
+/// order and the `p = 0` levels a suffix — each edge is found by
+/// `partition_point` over exactly the per-level saturation predicates
+/// the full linear sweep evaluates.
+struct AnalyticPlan {
+    schedule: Arc<Vec<(f64, u32)>>,
+    quad: GaussHermite,
+    rank: Vec<u32>,
+    levels_asc: Vec<f64>,
+    prefix: Vec<u32>,
+}
+
+impl AnalyticPlan {
+    fn new(schedule: Arc<Vec<(f64, u32)>>) -> Self {
+        let mut sorted: Vec<u32> = (0..schedule.len() as u32).collect();
+        sorted.sort_by(|&a, &b| {
+            let (la, lb) = (schedule[a as usize].0, schedule[b as usize].0);
+            la.partial_cmp(&lb).expect("reference levels are finite")
+        });
+        let mut rank = vec![0u32; schedule.len()];
+        for (r, &i) in sorted.iter().enumerate() {
+            rank[i as usize] = r as u32;
+        }
+        let levels_asc: Vec<f64> = sorted.iter().map(|&i| schedule[i as usize].0).collect();
+        let mut prefix = Vec::with_capacity(schedule.len() + 1);
+        prefix.push(0u32);
+        let mut acc = 0u32;
+        for &i in &sorted {
+            acc += schedule[i as usize].1;
+            prefix.push(acc);
+        }
+        Self {
+            schedule,
+            quad: GaussHermite::new(JITTER_QUAD_ORDER),
+            rank,
+            levels_asc,
+            prefix,
+        }
+    }
+}
+
+/// The closed-form acquisition law of one ETS point: exact trigger
+/// totals for the saturated level tails plus the trip probabilities of
+/// the non-saturated window. Computing a law (quadrature over the
+/// response) is the expensive part of an analytic point; drawing one
+/// measurement's counts from it is cheap — so when every context of a
+/// [`Itdr::measure_many`] call observes the same frozen environment,
+/// the law is computed once per point and shared by all measurements.
+struct PointLaw {
+    /// Total triggers across levels saturated at `p = 1` (all trip).
+    sat_one: u32,
+    /// Total triggers across levels saturated at `p = 0` (none trip).
+    sat_zero: u32,
+    /// Distinct levels in the saturated tails (telemetry parity with
+    /// the full linear sweep).
+    saturated: u64,
+    /// `(trigger count, trip probability)` of each non-saturated level,
+    /// in schedule order — the order the binomial stream is consumed in.
+    window: Vec<(u32, f64)>,
+}
+
 /// The iTDR instrument.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Itdr {
@@ -264,6 +334,13 @@ impl Itdr {
     /// Acquire one ETS point analytically: one closed-form trip
     /// probability per distinct PDM reference level, one exact binomial
     /// draw per level, reconstructed through the same ROM table.
+    ///
+    /// This is the full *linear* sweep — every schedule level gets its
+    /// saturation test (and, when non-saturated, its quadrature pass).
+    /// The production path brackets instead ([`point_law`](Self::point_law));
+    /// this one is retained as the oracle the bracketed path must match
+    /// bitwise (exercised by `measure_many_full_sweep` in the
+    /// equivalence tests).
     ///
     /// Per level, the trip probability of a single trigger is the
     /// comparator CDF averaged over the PLL's sampling-instant jitter
@@ -331,6 +408,126 @@ impl Itdr {
         table.voltage(counter.count())
     }
 
+    /// Compute one ETS point's [`PointLaw`] with *bracketed* saturation:
+    /// instead of testing all levels, binary-search the ascending level
+    /// order for the non-saturated window `[k1, k0)` and account the
+    /// saturated tails through the plan's prefix sums.
+    ///
+    /// `(lo + offset) - level >= guard` (the `p = 1` predicate) is
+    /// non-increasing in the level, so the `p = 1` levels are exactly a
+    /// prefix of the ascending order; `level - (hi + offset) >= guard`
+    /// (the `p = 0` predicate) is non-decreasing, so those levels are
+    /// exactly a suffix. The two cannot overlap: a level in both would
+    /// force `lo - hi >= 2·guard > 0`, impossible for a min/max pair.
+    /// The predicates are verbatim the full sweep's, so the window edges
+    /// agree with it bitwise (debug-asserted below).
+    ///
+    /// The law depends only on the context's frozen environment (the
+    /// response, forward wave, and comparator draw) — not on `ctx.seed` —
+    /// which is what makes it shareable across the measurements of one
+    /// call.
+    fn point_law(&self, ctx: &MeasurementContext, plan: &AnalyticPlan, n: usize) -> PointLaw {
+        let t_nominal = self.config.ets.time_of(n);
+        let coupler = ctx.frontend.config().coupler;
+        let mut detectors = [0.0f64; JITTER_QUAD_ORDER];
+        for (d, t) in detectors
+            .iter_mut()
+            .zip(plan.quad.abscissas(t_nominal, ctx.jitter_rms))
+        {
+            *d = coupler.detect(ctx.response.sample_at(t), ctx.forward.at(t));
+        }
+        let offset = ctx.frontend.comparator_offset();
+        let sigma = ctx.frontend.config().effective_sigma();
+        let (lo, hi) = detectors
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
+        let guard = SATURATION_SIGMAS * sigma;
+        let len = plan.levels_asc.len();
+        let (k1, k0) = if sigma > 0.0 {
+            (
+                plan.levels_asc
+                    .partition_point(|&level| (lo + offset) - level >= guard),
+                // `< guard` is the exact complement of the full sweep's
+                // `>= guard` (all quantities are finite here).
+                plan.levels_asc
+                    .partition_point(|&level| level - (hi + offset) < guard),
+            )
+        } else {
+            (0, len)
+        };
+        debug_assert!(k1 <= k0, "saturated tails overlap: k1={k1} k0={k0}");
+        #[cfg(debug_assertions)]
+        for (i, &(level, _)) in plan.schedule.iter().enumerate() {
+            let r = plan.rank[i] as usize;
+            debug_assert_eq!(
+                r < k1,
+                sigma > 0.0 && (lo + offset) - level >= guard,
+                "bracketed p=1 window edge disagrees with the full sweep at level {level}"
+            );
+            debug_assert_eq!(
+                r >= k0,
+                sigma > 0.0 && level - (hi + offset) >= guard,
+                "bracketed p=0 window edge disagrees with the full sweep at level {level}"
+            );
+        }
+        let mut window = Vec::with_capacity(k0 - k1);
+        for (i, &(level, count)) in plan.schedule.iter().enumerate() {
+            let r = plan.rank[i] as usize;
+            if r < k1 || r >= k0 {
+                continue;
+            }
+            // Weighted quadrature sum; clamp the last few ULPs of
+            // round-off so the binomial's domain check never trips.
+            let p = detectors
+                .iter()
+                .zip(plan.quad.weights())
+                .map(|(&d, &w)| w * ctx.frontend.trip_probability(d, level))
+                .sum::<f64>()
+                .clamp(0.0, 1.0);
+            window.push((count, p));
+        }
+        PointLaw {
+            sat_one: plan.prefix[k1],
+            sat_zero: plan.prefix[len] - plan.prefix[k0],
+            saturated: (k1 + (len - k0)) as u64,
+            window,
+        }
+    }
+
+    /// Draw one measurement's trip counts for a point from its
+    /// precomputed law and reconstruct the voltage.
+    ///
+    /// Consumes the per-point binomial stream exactly as the full linear
+    /// sweep does: saturated levels are draw-free (`binomial(n, 0)` and
+    /// `binomial(n, 1)` consume no randomness), so bulk-recording the
+    /// tails and walking only the window in schedule order leaves the
+    /// stream — and therefore the result — bitwise identical.
+    fn point_voltage_from_law(
+        &self,
+        ctx: &MeasurementContext,
+        table: &ReconstructionTable,
+        plan: &AnalyticPlan,
+        law: &PointLaw,
+        tel: Option<&AcqTelemetry>,
+        n: usize,
+    ) -> f64 {
+        let mut rng = DivotRng::derive(ctx.seed, ANALYTIC_DOMAIN ^ n as u64);
+        let mut counter = TripCounter::new();
+        counter.record_many(law.sat_one, law.sat_one);
+        counter.record_many(0, law.sat_zero);
+        for &(count, p) in &law.window {
+            counter.record_many(rng.binomial(u64::from(count), p) as u32, count);
+        }
+        if let Some(tel) = tel {
+            tel.analytic_points.inc();
+            tel.analytic_levels.add(plan.schedule.len() as u64);
+            tel.analytic_saturated.add(law.saturated);
+        }
+        table.voltage(counter.count())
+    }
+
     /// Run `count` consecutive measurements and return each reconstructed
     /// (and smoothed) IIP separately.
     ///
@@ -343,6 +540,32 @@ impl Itdr {
         channel: &mut BusChannel,
         count: usize,
         policy: ExecPolicy,
+    ) -> Vec<Waveform> {
+        self.measure_many_impl(channel, count, policy, false)
+    }
+
+    /// Reference analytic path without bracketing or point-law sharing:
+    /// the full linear sweep, one saturation test (and quadrature pass
+    /// when non-saturated) per `(measurement, point, level)`. Retained
+    /// as the oracle the bracketed production path must match bitwise;
+    /// exercised by the equivalence tests and not otherwise part of the
+    /// public API.
+    #[doc(hidden)]
+    pub fn measure_many_full_sweep(
+        &self,
+        channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Vec<Waveform> {
+        self.measure_many_impl(channel, count, policy, true)
+    }
+
+    fn measure_many_impl(
+        &self,
+        channel: &mut BusChannel,
+        count: usize,
+        policy: ExecPolicy,
+        full_sweep: bool,
     ) -> Vec<Waveform> {
         let period = channel.frontend_config().vernier.period() as u32;
         assert!(
@@ -373,12 +596,8 @@ impl Itdr {
                 ],
             );
         }
-        let analytic_plan = (wants_analytic && analytic_supported).then(|| {
-            (
-                channel.level_schedule(self.config.repetitions),
-                GaussHermite::new(JITTER_QUAD_ORDER),
-            )
-        });
+        let analytic_plan = (wants_analytic && analytic_supported)
+            .then(|| AnalyticPlan::new(channel.level_schedule(self.config.repetitions)));
         let dwell = Seconds(self.config.total_triggers() as f64 * channel.trigger_period());
         let contexts: Vec<MeasurementContext> = (0..count)
             .map(|_| {
@@ -387,22 +606,59 @@ impl Itdr {
                 ctx
             })
             .collect();
+        if contexts.is_empty() {
+            return Vec::new();
+        }
         let ets = self.config.ets;
         let n_points = ets.points();
-        let volts = policy.run_indexed(count * n_points, |idx| {
-            let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
-            match &analytic_plan {
-                Some((schedule, quad)) => self.point_voltage_analytic(
+        let volts = match &analytic_plan {
+            Some(plan) if full_sweep => policy.run_indexed(count * n_points, |idx| {
+                let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
+                self.point_voltage_analytic(
                     ctx,
                     &table,
-                    schedule.as_slice(),
-                    quad,
+                    plan.schedule.as_slice(),
+                    &plan.quad,
                     tel.as_ref(),
                     n,
-                ),
-                None => self.point_voltage(ctx, &table, tel.as_ref(), n),
+                )
+            }),
+            Some(plan) => {
+                // A point's law depends on the context's environment but
+                // not its seed, so when every measurement of this call
+                // observes the same frozen environment — the common case:
+                // the cached response `Arc` is literally shared — compute
+                // each law once and share it across all `count`
+                // measurements instead of once per (measurement, point).
+                let uniform = contexts.windows(2).all(|w| {
+                    Arc::ptr_eq(&w[0].response, &w[1].response)
+                        && w[0].forward == w[1].forward
+                        && w[0].jitter_rms.to_bits() == w[1].jitter_rms.to_bits()
+                        && w[0].frontend.comparator_offset().to_bits()
+                            == w[1].frontend.comparator_offset().to_bits()
+                });
+                if uniform {
+                    divot_telemetry::add("itdr.analytic.shared_laws", n_points as u64);
+                    let laws = policy.run_indexed(n_points, |n| {
+                        self.point_law(&contexts[0], plan, n)
+                    });
+                    policy.run_indexed(count * n_points, |idx| {
+                        let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
+                        self.point_voltage_from_law(ctx, &table, plan, &laws[n], tel.as_ref(), n)
+                    })
+                } else {
+                    policy.run_indexed(count * n_points, |idx| {
+                        let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
+                        let law = self.point_law(ctx, plan, n);
+                        self.point_voltage_from_law(ctx, &table, plan, &law, tel.as_ref(), n)
+                    })
+                }
             }
-        });
+            None => policy.run_indexed(count * n_points, |idx| {
+                let (ctx, n) = (&contexts[idx / n_points], idx % n_points);
+                self.point_voltage(ctx, &table, tel.as_ref(), n)
+            }),
+        };
         volts
             .chunks(n_points)
             .map(|chunk| {
@@ -513,6 +769,50 @@ impl Itdr {
             self.measure_averaged_with(channel, count, policy),
             count as u32,
         )
+    }
+
+    /// Batched averaged acquisition across a cohort of channels.
+    ///
+    /// Whole channels fan out under `policy` (each channel's own
+    /// acquisition runs serially inside its work item, so the fan-outs
+    /// never nest); entry `i` is bitwise identical to
+    /// `measure_averaged_with(&mut channels[i], count, ExecPolicy::Serial)`
+    /// run solo, because each channel's result is a pure function of the
+    /// channel state alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn measure_batch(
+        &self,
+        channels: &mut [BusChannel],
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Vec<Waveform> {
+        assert!(count > 0, "need at least one measurement");
+        policy.run_mut(channels, |_, ch| {
+            self.measure_averaged_with(ch, count, ExecPolicy::Serial)
+        })
+    }
+
+    /// Batched enrollment across a cohort of channels: entry `i` is
+    /// bitwise identical to `enroll_with(&mut channels[i], count,
+    /// ExecPolicy::Serial)` run solo (see
+    /// [`measure_batch`](Self::measure_batch) for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn enroll_batch(
+        &self,
+        channels: &mut [BusChannel],
+        count: usize,
+        policy: ExecPolicy,
+    ) -> Vec<Fingerprint> {
+        assert!(count > 0, "need at least one measurement");
+        policy.run_mut(channels, |_, ch| {
+            self.enroll_with(ch, count, ExecPolicy::Serial)
+        })
     }
 }
 
@@ -708,6 +1008,49 @@ mod tests {
         let b = analytic.measure(&mut analytic_ch);
         for (x, y) in a.samples().iter().zip(b.samples()) {
             assert_eq!(x.to_bits(), y.to_bits(), "fallback must be the trial path");
+        }
+    }
+
+    #[test]
+    fn bracketed_sweep_matches_full_sweep_bitwise() {
+        // The production analytic path (bracketed saturation + shared
+        // per-point laws) must reproduce the linear reference sweep
+        // bit for bit, under both execution policies.
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let itdr = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let mut bracketed_ch = channel_for_line(&board, 0, 17);
+            let mut full_ch = channel_for_line(&board, 0, 17);
+            let bracketed = itdr.measure_many(&mut bracketed_ch, 3, policy);
+            let full = itdr.measure_many_full_sweep(&mut full_ch, 3, policy);
+            assert_eq!(bracketed.len(), full.len());
+            for (b, f) in bracketed.iter().zip(&full) {
+                for (x, y) in b.samples().iter().zip(f.samples()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_acquisition_matches_solo() {
+        // enroll_batch / measure_batch entry i must be bitwise identical
+        // to the solo call on the same channel state.
+        let board = Board::fabricate(&BoardConfig::small_test(), 31);
+        let itdr = Itdr::new(ItdrConfig::fast().with_acq_mode(AcqMode::Analytic));
+        let mut batch: Vec<BusChannel> = (0..2).map(|i| channel_for_line(&board, i, 40 + i as u64)).collect();
+        let fps = itdr.enroll_batch(&mut batch, 2, ExecPolicy::Parallel);
+        for (i, batched) in fps.iter().enumerate() {
+            let mut solo = channel_for_line(&board, i, 40 + i as u64);
+            let fp = itdr.enroll_with(&mut solo, 2, ExecPolicy::Serial);
+            assert_eq!(*batched, fp, "batch entry {i} must match solo enrollment");
+        }
+        let mut batch: Vec<BusChannel> = (0..2).map(|i| channel_for_line(&board, i, 50 + i as u64)).collect();
+        let wfs = itdr.measure_batch(&mut batch, 2, ExecPolicy::Serial);
+        for (i, batched) in wfs.iter().enumerate() {
+            let mut solo = channel_for_line(&board, i, 50 + i as u64);
+            let wf = itdr.measure_averaged_with(&mut solo, 2, ExecPolicy::Serial);
+            assert_eq!(*batched, wf, "batch entry {i} must match solo measurement");
         }
     }
 

@@ -1,0 +1,77 @@
+//! Property test: the bracketed analytic sweep is *bitwise* the full
+//! linear sweep.
+//!
+//! The production analytic path brackets each ETS point's level schedule
+//! (binary-searching the non-saturated window and bulk-recording the
+//! saturated tails) and shares one point law across a call's
+//! measurements. [`Itdr::measure_many_full_sweep`] is the retained
+//! oracle: the unbracketed linear sweep over every `(measurement, point,
+//! level)`. Whatever the configuration — ETS density, repetitions,
+//! smoothing, channel seed, execution policy — the two must agree to the
+//! last bit, because the bracketing only reorders *which* levels get a
+//! quadrature pass, never what the RNG stream or the trip counter see.
+
+use divot_analog::frontend::FrontEndConfig;
+use divot_core::channel::BusChannel;
+use divot_core::ets::EtsSchedule;
+use divot_core::exec::ExecPolicy;
+use divot_core::itdr::{AcqMode, Itdr, ItdrConfig};
+use divot_txline::board::{Board, BoardConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared test board: fabrication is deterministic and dominated by
+/// the OU profile draws, so every case reuses it and varies the channel
+/// seed instead.
+fn channel(seed: u64) -> BusChannel {
+    static BOARD: OnceLock<Board> = OnceLock::new();
+    let board = BOARD.get_or_init(|| Board::fabricate(&BoardConfig::small_test(), 77));
+    BusChannel::new(board.line(0).clone(), FrontEndConfig::default(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bracketed_sweep_is_bitwise_the_full_sweep(
+        // ETS grid: 4–15× the PLL phase step over 30–100 % of the paper
+        // window (7..86 points).
+        tau_mult in 4u32..16,
+        window_frac in 0.3f64..1.0,
+        // Repetitions must be a positive multiple of the Vernier
+        // period (21 for the default front end).
+        reps_cycles in 1u32..4,
+        smoothing in 0usize..3,
+        seed in any::<u64>(),
+        count in 1usize..3,
+        parallel in any::<bool>(),
+    ) {
+        let config = ItdrConfig {
+            ets: EtsSchedule::new(0.0, window_frac * 3.8e-9, f64::from(tau_mult) * 11.16e-12),
+            repetitions: 21 * reps_cycles,
+            smoothing_half_width: smoothing,
+            acq_mode: AcqMode::Analytic,
+        };
+        let itdr = Itdr::new(config);
+        let policy = if parallel { ExecPolicy::Parallel } else { ExecPolicy::Serial };
+        // Identical channels, so both paths see identical contexts.
+        let bracketed = itdr.measure_averaged_with(&mut channel(seed), count, policy);
+        let full = itdr.measure_many_full_sweep(&mut channel(seed), count, policy);
+        prop_assert_eq!(full.len(), count);
+        // Fold the oracle's measurements exactly as measure_averaged does.
+        let mut oracle = full[0].clone();
+        for next in &full[1..] {
+            oracle.try_add(next).expect("same ETS grid");
+        }
+        oracle.scale(1.0 / count as f64);
+        prop_assert_eq!(bracketed.len(), oracle.len());
+        for (k, (a, b)) in bracketed.samples().iter().zip(oracle.samples()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "point {} diverges: bracketed {} vs full {}",
+                k, a, b
+            );
+        }
+    }
+}

@@ -277,6 +277,46 @@ pub struct OrnsteinUhlenbeck {
     rng: DivotRng,
 }
 
+/// The deterministic shape of a stationary OU process — everything
+/// [`OrnsteinUhlenbeck::new`] computes before touching the RNG (notably
+/// the `exp` for the one-step autocorrelation). Computing the shape once
+/// and instantiating many processes from it via
+/// [`OrnsteinUhlenbeck::with_coeffs`] is bitwise identical to calling
+/// `new` each time, since the shape consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OuCoeffs {
+    sigma: f64,
+    rho: f64,
+}
+
+impl OuCoeffs {
+    /// Precompute the OU shape for `(sigma, correlation_length, step)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(sigma: f64, correlation_length: f64, step: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        assert!(
+            correlation_length > 0.0,
+            "correlation_length must be positive, got {correlation_length}"
+        );
+        assert!(step > 0.0, "step must be positive, got {step}");
+        let rho = (-step / correlation_length).exp();
+        Self { sigma, rho }
+    }
+
+    /// The marginal standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The one-step autocorrelation `ρ = exp(−step/ell)`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
 impl OrnsteinUhlenbeck {
     /// Create a stationary OU process.
     ///
@@ -288,19 +328,19 @@ impl OrnsteinUhlenbeck {
     /// # Panics
     ///
     /// Panics if any parameter is non-positive.
-    pub fn new(sigma: f64, correlation_length: f64, step: f64, mut rng: DivotRng) -> Self {
-        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
-        assert!(
-            correlation_length > 0.0,
-            "correlation_length must be positive, got {correlation_length}"
-        );
-        assert!(step > 0.0, "step must be positive, got {step}");
-        let rho = (-step / correlation_length).exp();
+    pub fn new(sigma: f64, correlation_length: f64, step: f64, rng: DivotRng) -> Self {
+        Self::with_coeffs(OuCoeffs::new(sigma, correlation_length, step), rng)
+    }
+
+    /// Create a stationary OU process from a precomputed shape (see
+    /// [`OuCoeffs`]); bitwise identical to [`new`](Self::new) with the
+    /// parameters the shape was built from.
+    pub fn with_coeffs(coeffs: OuCoeffs, mut rng: DivotRng) -> Self {
         // Start in the stationary distribution.
-        let state = rng.normal(0.0, sigma);
+        let state = rng.normal(0.0, coeffs.sigma);
         Self {
-            sigma,
-            rho,
+            sigma: coeffs.sigma,
+            rho: coeffs.rho,
             state,
             rng,
         }

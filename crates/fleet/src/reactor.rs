@@ -284,7 +284,7 @@ fn coalesce_key(request: &Request) -> Option<CoalesceKey> {
     match request {
         Request::Verify { device, nonce } => Some((0, device.clone(), *nonce)),
         Request::MonitorScan { device, nonce } => Some((1, device.clone(), *nonce)),
-        Request::Enroll { .. } | Request::RegistrySnapshot => None,
+        Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => None,
     }
 }
 

@@ -35,6 +35,7 @@ use crate::error::{FleetError, ShedReason};
 use crate::sim::SimulatedFleet;
 use crate::store::FleetStore;
 use divot_core::auth::{AuthPolicy, Authenticator};
+use divot_core::exec::ExecPolicy;
 use divot_core::tamper::{TamperDetector, TamperPolicy};
 use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_telemetry::Value;
@@ -56,6 +57,18 @@ pub enum Request {
         device: String,
         /// Enrollment noise stream selector.
         nonce: u64,
+    },
+    /// Enroll a whole cohort in one request: every `(device, nonce)`
+    /// row is enrolled exactly as a standalone [`Request::Enroll`] with
+    /// that nonce would be (bitwise-identical pairings, thresholds, and
+    /// store state), but the service amortizes the cold path — one
+    /// engine warm-up fan-out, batched clean acquisitions, one
+    /// threshold-map write lock, and one store pass per touched shard.
+    /// Admission is all-or-nothing: one unknown device fails the whole
+    /// batch before any enrollment happens.
+    EnrollBatch {
+        /// `(device id, enrollment nonce)` rows, enrolled in order.
+        devices: Vec<(String, u64)>,
     },
     /// Authenticate a device against its stored fingerprint.
     Verify {
@@ -81,6 +94,7 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Self::Enroll { .. } => "enroll",
+            Self::EnrollBatch { .. } => "enroll_batch",
             Self::Verify { .. } => "verify",
             Self::MonitorScan { .. } => "scan",
             Self::RegistrySnapshot => "snapshot",
@@ -93,6 +107,7 @@ impl Request {
     pub fn latency_metric(&self) -> &'static str {
         match self {
             Self::Enroll { .. } => "fleet.request.latency.enroll",
+            Self::EnrollBatch { .. } => "fleet.request.latency.enroll_batch",
             Self::Verify { .. } => "fleet.request.latency.verify",
             Self::MonitorScan { .. } => "fleet.request.latency.scan",
             Self::RegistrySnapshot => "fleet.request.latency.snapshot",
@@ -109,6 +124,12 @@ pub enum Response {
         device: String,
         /// The shard the pairing landed on.
         shard: u32,
+    },
+    /// Every device of an [`Request::EnrollBatch`] is enrolled and its
+    /// pairing persisted in the store.
+    EnrolledBatch {
+        /// `(device, shard)` rows in request order.
+        devices: Vec<(String, u32)>,
     },
     /// The outcome of a verify.
     Verdict {
@@ -451,6 +472,10 @@ impl ServiceInner {
                 }
             };
             let Some(job) = job else { return };
+            divot_telemetry::observe(
+                "fleet.queue.wait_ns",
+                job.submitted.elapsed().as_nanos() as f64,
+            );
             let outcome = if Instant::now() > job.deadline {
                 divot_telemetry::inc("fleet.deadline_misses");
                 Err(FleetError::DeadlineExceeded)
@@ -534,6 +559,9 @@ impl ServiceInner {
     fn note_outcome(&self, response: &Response) {
         match response {
             Response::Enrolled { .. } => divot_telemetry::inc("fleet.enrolls"),
+            Response::EnrolledBatch { devices } => {
+                divot_telemetry::add("fleet.enrolls", devices.len() as u64);
+            }
             Response::Verdict { accepted, .. } => divot_telemetry::inc(if *accepted {
                 "fleet.verify.accepts"
             } else {
@@ -565,7 +593,9 @@ impl ServiceInner {
             Request::MonitorScan { device, nonce } => {
                 self.verdict_key(VerdictKind::Scan, device, *nonce)
             }
-            Request::Enroll { .. } | Request::RegistrySnapshot => None,
+            Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => {
+                None
+            }
         };
         if let Some(k) = &key {
             if let Some(response) = self.verdicts.lookup(l1, k) {
@@ -615,6 +645,59 @@ impl ServiceInner {
                 Ok(Response::Enrolled {
                     device: device.clone(),
                     shard: self.store.shard_of(device) as u32,
+                })
+            }
+            Request::EnrollBatch { devices } => {
+                let policy = ExecPolicy::auto();
+                // All-or-nothing: `enroll_batch` refuses the whole batch
+                // when any row names an unknown device, before enrolling
+                // anything.
+                let pairings = self.sim.enroll_batch(devices, policy).ok_or_else(|| {
+                    let missing = devices
+                        .iter()
+                        .find(|(name, _)| self.sim.device_index(name).is_none())
+                        .map_or_else(String::new, |(name, _)| name.clone());
+                    FleetError::UnknownDevice(missing)
+                })?;
+                // One batched acquisition covers every device's clean
+                // calibration window (the same four derived nonces a solo
+                // enroll uses), so the engine fan-out is paid once for
+                // the cohort instead of once per device.
+                let clean_items: Vec<(String, u64)> = devices
+                    .iter()
+                    .flat_map(|(name, nonce)| {
+                        (1..=4).map(|k| (name.clone(), mix_seed(*nonce, 0xCA11_B000 | k)))
+                    })
+                    .collect();
+                let cleans = self
+                    .sim
+                    .acquire_batch(&clean_items, policy)
+                    .expect("devices exist: enrolled above");
+                {
+                    let mut thresholds =
+                        self.thresholds.write().expect("threshold lock poisoned");
+                    for (i, ((name, _), pairing)) in devices.iter().zip(&pairings).enumerate() {
+                        let detector = TamperDetector::calibrated(
+                            self.config.tamper,
+                            pairing.master.iip(),
+                            &cleans[i * 4..i * 4 + 4],
+                            self.config.tamper_margin,
+                        );
+                        thresholds.insert(name.clone(), detector.policy().threshold);
+                    }
+                }
+                let rows: Vec<_> = devices
+                    .iter()
+                    .map(|(name, _)| name.clone())
+                    .zip(pairings)
+                    .collect();
+                let shards = self.store.register_batch(rows);
+                Ok(Response::EnrolledBatch {
+                    devices: devices
+                        .iter()
+                        .map(|(name, _)| name.clone())
+                        .zip(shards.into_iter().map(|s| s as u32))
+                        .collect(),
                 })
             }
             Request::Verify { device, nonce } => {
@@ -890,7 +973,9 @@ impl FleetClient {
             Request::MonitorScan { device, nonce } => {
                 self.inner.verdict_key(VerdictKind::Scan, device, *nonce)?
             }
-            Request::Enroll { .. } | Request::RegistrySnapshot => return None,
+            Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => {
+                return None
+            }
         };
         let response = self.inner.verdicts.peek(&key)?;
         self.inner.note_outcome(&response);
@@ -983,6 +1068,83 @@ mod tests {
             Response::Snapshot { devices } => {
                 assert_eq!(devices.len(), 3);
                 assert_eq!(devices[0].0, "bus-000");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_enrollment_matches_serial_enrolls() {
+        // One service enrolls device-by-device, the other takes the same
+        // rows as a single EnrollBatch: the registry, the calibrated
+        // thresholds, and every downstream verdict must be identical.
+        let serial = service(4, 2);
+        let batched = service(4, 2);
+        let sc = serial.client();
+        let bc = batched.client();
+        let rows: Vec<(String, u64)> = (0..4)
+            .map(|i| (SimulatedFleet::device_name(i), 30 + i as u64))
+            .collect();
+        for (device, nonce) in &rows {
+            sc.call(Request::Enroll {
+                device: device.clone(),
+                nonce: *nonce,
+            })
+            .unwrap();
+        }
+        match bc
+            .call(Request::EnrollBatch {
+                devices: rows.clone(),
+            })
+            .unwrap()
+        {
+            Response::EnrolledBatch { devices } => {
+                assert_eq!(devices.len(), rows.len(), "one row per request row");
+                for ((name, _), (reported, shard)) in rows.iter().zip(&devices) {
+                    assert_eq!(name, reported, "rows come back in request order");
+                    assert_eq!(
+                        *shard as usize,
+                        batched.inner.store.shard_of(name),
+                        "reported shard must match the store's placement"
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Verify and scan are pure functions of the stored pairing and the
+        // calibrated threshold, so identical responses prove identical
+        // registry state.
+        for (device, _) in &rows {
+            let verify = Request::Verify {
+                device: device.clone(),
+                nonce: 900,
+            };
+            assert_eq!(sc.call(verify.clone()).unwrap(), bc.call(verify).unwrap());
+            let scan = Request::MonitorScan {
+                device: device.clone(),
+                nonce: 901,
+            };
+            assert_eq!(sc.call(scan.clone()).unwrap(), bc.call(scan).unwrap());
+        }
+        assert_eq!(
+            sc.call(Request::RegistrySnapshot).unwrap(),
+            bc.call(Request::RegistrySnapshot).unwrap()
+        );
+    }
+
+    #[test]
+    fn enroll_batch_with_unknown_device_enrolls_nothing() {
+        let svc = service(2, 1);
+        let client = svc.client();
+        let err = client
+            .call(Request::EnrollBatch {
+                devices: vec![("bus-000".into(), 1), ("bus-777".into(), 1)],
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice("bus-777".into()));
+        match client.call(Request::RegistrySnapshot).unwrap() {
+            Response::Snapshot { devices } => {
+                assert!(devices.is_empty(), "all-or-nothing: no partial enrollment");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -36,7 +36,7 @@ use divot_core::pdm::effective_cdf;
 use divot_core::registry::Pairing;
 use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_dsp::waveform::Waveform;
-use divot_txline::board::{Board, BoardConfig};
+use divot_txline::board::{Board, BoardConfig, DesignPrecompute};
 use divot_txline::env::EnvState;
 use divot_txline::scatter::TxLine;
 use divot_txline::units::Seconds;
@@ -151,6 +151,10 @@ pub struct SimulatedFleet {
     table: Arc<ReconstructionTable>,
     /// Fleet-wide analytic distinct-level schedule, shared the same way.
     schedule: Arc<Vec<(f64, u32)>>,
+    /// The shared board design: every board of the cohort is fabricated
+    /// against this one precompute (ρ-shape, connector window, nominal
+    /// line), so board N+1 reuses the design work board 0 paid for.
+    design: Arc<DesignPrecompute>,
     itdr: Itdr,
 }
 
@@ -158,8 +162,9 @@ impl SimulatedFleet {
     /// Fabricate the population: devices are packed two per
     /// [`BoardConfig::small_test`] board, every board seeded from the
     /// fleet seed, so the same configuration always yields the identical
-    /// fleet. The shared ROM and level schedule are built here, once;
-    /// per-device responses are computed lazily on first use.
+    /// fleet. The design precompute, shared ROM, and level schedule are
+    /// built here, once; per-device responses are computed lazily on
+    /// first use.
     ///
     /// # Panics
     ///
@@ -168,8 +173,9 @@ impl SimulatedFleet {
         assert!(config.devices >= 1, "fleet needs at least one device");
         let board_cfg = BoardConfig::small_test();
         let per_board = board_cfg.line_count;
+        let design = Arc::new(DesignPrecompute::new(board_cfg));
         let boards: Vec<Board> = (0..config.devices.div_ceil(per_board))
-            .map(|b| Board::fabricate(&board_cfg, mix_seed(config.seed, b as u64)))
+            .map(|b| Board::fabricate_with(&design, mix_seed(config.seed, b as u64)))
             .collect();
         let devices: Vec<Device> = (0..config.devices)
             .map(|i| Device {
@@ -195,7 +201,15 @@ impl SimulatedFleet {
             index,
             table,
             schedule,
+            design,
         }
+    }
+
+    /// The shared board-design precompute the cohort was fabricated
+    /// against (cohort intake scans read the nominal reference line off
+    /// it).
+    pub fn design(&self) -> &Arc<DesignPrecompute> {
+        &self.design
     }
 
     /// The canonical name of device `i` (`bus-000`, `bus-001`, …).
@@ -286,12 +300,98 @@ impl SimulatedFleet {
         ))
     }
 
+    /// Batched calibration enrollment: enroll every `(name, nonce)` item,
+    /// fanning whole devices across `policy` (each device's own
+    /// acquisition stays serial inside its work item, so fan-outs never
+    /// nest). Distinct devices are warmed up front under the same policy,
+    /// so a cold cohort's scattering-engine runs parallelize instead of
+    /// serializing behind per-device `OnceLock` waits.
+    ///
+    /// Entry `i` is bitwise identical to `enroll(&items[i].0,
+    /// items[i].1)` run solo — each item's answer is a pure function of
+    /// the request — so batching (and the policy) is a scheduling choice,
+    /// never a semantic one.
+    ///
+    /// Returns `None` if *any* name is unknown; the batch is
+    /// all-or-nothing and nothing is acquired in that case.
+    pub fn enroll_batch(
+        &self,
+        items: &[(String, u64)],
+        policy: ExecPolicy,
+    ) -> Option<Vec<Pairing>> {
+        let idx: Vec<usize> = items
+            .iter()
+            .map(|(n, _)| self.device_index(n))
+            .collect::<Option<_>>()?;
+        self.warm_all(&idx, policy);
+        Some(policy.run_indexed(items.len(), |k| {
+            let i = idx[k];
+            let device = &self.devices[i];
+            let nonce = items[k].1;
+            let mut master = self.channel(device, i, MASTER_DOMAIN, nonce);
+            let mut slave = self.channel(device, i, SLAVE_DOMAIN, nonce);
+            Pairing::enroll_with(
+                &self.itdr,
+                &mut master,
+                &mut slave,
+                self.config.enroll_count,
+                ExecPolicy::Serial,
+            )
+        }))
+    }
+
+    /// Batched runtime acquisition: one averaged master-end IIP per
+    /// `(name, nonce)` item, with the same fan-out, bitwise-equivalence,
+    /// and all-or-nothing contract as [`enroll_batch`](Self::enroll_batch)
+    /// (entry `i` matches `acquire` run solo).
+    pub fn acquire_batch(
+        &self,
+        items: &[(String, u64)],
+        policy: ExecPolicy,
+    ) -> Option<Vec<Waveform>> {
+        let idx: Vec<usize> = items
+            .iter()
+            .map(|(n, _)| self.device_index(n))
+            .collect::<Option<_>>()?;
+        self.warm_all(&idx, policy);
+        Some(policy.run_indexed(items.len(), |k| {
+            let i = idx[k];
+            let device = &self.devices[i];
+            let mut ch = self.channel(device, i, MASTER_DOMAIN, items[k].1);
+            self.itdr
+                .measure_averaged_with(&mut ch, self.config.verify_average, ExecPolicy::Serial)
+        }))
+    }
+
+    /// Warm every distinct device of `idx` under `policy` (engine runs
+    /// are the dominant cold cost, and `OnceLock` makes concurrent
+    /// duplicates harmless but wasteful).
+    fn warm_all(&self, idx: &[usize], policy: ExecPolicy) {
+        let mut distinct = idx.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        policy.run_indexed(distinct.len(), |k| {
+            self.warm(distinct[k]);
+        });
+    }
+
     /// One runtime acquisition from the master end of `name` under
     /// request `nonce`: the averaged IIP a verify or scan decides on.
     /// `None` when the device does not exist.
     ///
-    /// The acquisition runs on a pre-seeded channel — warm-path requests
-    /// perform zero scattering-engine runs and zero table builds.
+    /// # Cache interaction
+    ///
+    /// The acquisition runs on a pre-seeded channel: the device's
+    /// memoized response (an engine run paid once, on the first request
+    /// ever served for the device), the fleet-wide ROM table, and the
+    /// analytic level schedule are handed to the channel as shared
+    /// `Arc`s, so warm-path requests perform zero scattering-engine runs
+    /// and zero table builds. The seeded values are exactly what the
+    /// channel would compute itself — they depend only on `(line,
+    /// environment)` and `(front-end config, repetitions)`, never on
+    /// `nonce` — so the result is bitwise identical to
+    /// [`acquire_uncached`](Self::acquire_uncached) and the cache can
+    /// never leak state between requests.
     pub fn acquire(&self, name: &str, nonce: u64) -> Option<Waveform> {
         let (i, device) = self.device(name)?;
         let mut ch = self.channel(device, i, MASTER_DOMAIN, nonce);
@@ -304,8 +404,15 @@ impl SimulatedFleet {
 
     /// [`acquire`](Self::acquire) without any memoized state: the
     /// channel computes its own response, ROM, and schedule from
-    /// scratch. The reference path for cache-correctness tests — the
-    /// seeded fast path must match it bitwise.
+    /// scratch.
+    ///
+    /// # Cache interaction
+    ///
+    /// This path never touches (and never populates) the fleet's warm
+    /// state — it is the reference for cache-correctness tests, which
+    /// assert the seeded fast path matches it bitwise for every `(name,
+    /// nonce)`. It costs one scattering-engine run and one table build
+    /// per call, so use it for equivalence checks, not throughput.
     pub fn acquire_uncached(&self, name: &str, nonce: u64) -> Option<Waveform> {
         let (i, device) = self.device(name)?;
         let mut ch = BusChannel::new(
@@ -413,6 +520,52 @@ mod tests {
         let f = fleet(1);
         assert!(f.enroll("bus-999", 0).is_none());
         assert!(f.acquire("nope", 0).is_none());
+    }
+
+    #[test]
+    fn batched_enrollment_matches_solo_bitwise() {
+        let f = fleet(3);
+        let items: Vec<(String, u64)> = [(0usize, 7u64), (2, 9), (1, 7), (0, 11)]
+            .iter()
+            .map(|&(i, nonce)| (SimulatedFleet::device_name(i), nonce))
+            .collect();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let batch = f.enroll_batch(&items, policy).unwrap();
+            assert_eq!(batch.len(), items.len());
+            for (k, (name, nonce)) in items.iter().enumerate() {
+                let solo = f.enroll(name, *nonce).unwrap();
+                assert_eq!(batch[k].master, solo.master, "{name}/{nonce}");
+                assert_eq!(batch[k].slave, solo.slave, "{name}/{nonce}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_acquisition_matches_solo_bitwise() {
+        let f = fleet(2);
+        let items: Vec<(String, u64)> = vec![
+            (SimulatedFleet::device_name(1), 3),
+            (SimulatedFleet::device_name(0), 3),
+            (SimulatedFleet::device_name(1), 4),
+        ];
+        let batch = f.acquire_batch(&items, ExecPolicy::Parallel).unwrap();
+        for (k, (name, nonce)) in items.iter().enumerate() {
+            let solo = f.acquire(name, *nonce).unwrap();
+            for (a, b) in batch[k].samples().iter().zip(solo.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}/{nonce}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_unknown_device_is_all_or_nothing() {
+        let f = fleet(2);
+        let items = vec![
+            (SimulatedFleet::device_name(0), 1u64),
+            ("bus-999".to_string(), 2),
+        ];
+        assert!(f.enroll_batch(&items, ExecPolicy::Serial).is_none());
+        assert!(f.acquire_batch(&items, ExecPolicy::Serial).is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use std::time::Instant;
 
 /// Offset basis of the FNV-1a hash used for shard placement.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -94,17 +95,62 @@ impl FleetStore {
         self.generations[self.shard_of(device)].load(Ordering::Acquire)
     }
 
+    /// Record how long a shard's write lock was held: one per-shard
+    /// cumulative nanosecond counter (`fleet.store.shard.NNN.lock_hold_ns`)
+    /// plus a store-wide histogram (`fleet.store.lock_hold_ns`). Only
+    /// mutating paths are instrumented — the verify hot path's read locks
+    /// stay allocation- and instrumentation-free.
+    fn note_write_hold(shard: usize, held: std::time::Duration) {
+        let ns = held.as_nanos() as u64;
+        divot_telemetry::add(&format!("fleet.store.shard.{shard:03}.lock_hold_ns"), ns);
+        divot_telemetry::observe("fleet.store.lock_hold_ns", ns as f64);
+    }
+
     /// Store (or replace) the pairing for `device`, returning the
     /// previous pairing if one existed. Takes the write lock of exactly
     /// one shard and advances the shard's enrollment generation.
     pub fn register(&self, device: &str, pairing: Pairing) -> Option<Pairing> {
         let shard = self.shard_of(device);
-        let prev = self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .register(device, pairing);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let t0 = Instant::now();
+        let prev = guard.register(device, pairing);
+        drop(guard);
+        Self::note_write_hold(shard, t0.elapsed());
         self.generations[shard].fetch_add(1, Ordering::Release);
         prev
+    }
+
+    /// Store a whole batch of pairings, grouped by shard: each touched
+    /// shard's write lock is taken exactly once and its enrollment
+    /// generation advances exactly once per batch — not once per insert —
+    /// so a 1k-board cohort intake invalidates memoized verdicts once per
+    /// shard rather than a thousand times. Within a shard, items land in
+    /// batch order (a later duplicate wins, matching what serial
+    /// [`register`](Self::register) calls would leave behind). Returns
+    /// each item's shard index, in item order.
+    pub fn register_batch(&self, items: Vec<(String, Pairing)>) -> Vec<usize> {
+        let mut shards_of = Vec::with_capacity(items.len());
+        let mut by_shard: Vec<Vec<(String, Pairing)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (name, pairing) in items {
+            let shard = self.shard_of(&name);
+            shards_of.push(shard);
+            by_shard[shard].push((name, pairing));
+        }
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+            let t0 = Instant::now();
+            for (name, pairing) in group {
+                guard.register(&name, pairing);
+            }
+            drop(guard);
+            Self::note_write_hold(shard, t0.elapsed());
+            self.generations[shard].fetch_add(1, Ordering::Release);
+        }
+        shards_of
     }
 
     /// Run `f` on the stored pairing of `device` under the shard's read
@@ -122,10 +168,11 @@ impl FleetStore {
     /// enrollment generation when a pairing was actually removed.
     pub fn remove(&self, device: &str) -> Option<Pairing> {
         let shard = self.shard_of(device);
-        let prev = self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .remove(device);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let t0 = Instant::now();
+        let prev = guard.remove(device);
+        drop(guard);
+        Self::note_write_hold(shard, t0.elapsed());
         if prev.is_some() {
             self.generations[shard].fetch_add(1, Ordering::Release);
         }
@@ -260,6 +307,49 @@ mod tests {
         assert!(store.remove("bus-7").is_some());
         assert!(store.remove("bus-7").is_none());
         assert_eq!(store.len(), 11);
+    }
+
+    #[test]
+    fn register_batch_matches_serial_registers() {
+        let batch_store = FleetStore::new(4);
+        let serial_store = FleetStore::new(4);
+        let items: Vec<(String, Pairing)> = (0..12)
+            .map(|i| (format!("bus-{i:03}"), pairing(1e-3 * (i + 1) as f64)))
+            .collect();
+        for (name, p) in &items {
+            serial_store.register(name, p.clone());
+        }
+        let shards = batch_store.register_batch(items.clone());
+        assert_eq!(shards.len(), items.len());
+        for (k, (name, p)) in items.iter().enumerate() {
+            assert_eq!(shards[k], batch_store.shard_of(name));
+            let stored = batch_store.with_pairing(name, |q| q.clone()).unwrap();
+            assert_eq!(&stored, p);
+        }
+        assert_eq!(batch_store.device_names(), serial_store.device_names());
+    }
+
+    #[test]
+    fn register_batch_bumps_generation_once_per_touched_shard() {
+        let store = FleetStore::new(4);
+        let items: Vec<(String, Pairing)> = (0..12)
+            .map(|i| (format!("bus-{i:03}"), pairing(1e-3)))
+            .collect();
+        store.register_batch(items.clone());
+        // Twelve inserts landed, but each touched shard advanced exactly
+        // one generation.
+        for (name, _) in &items {
+            assert_eq!(store.generation(name), 1, "{name}");
+        }
+        // A later duplicate in the same batch wins, like serial inserts.
+        let dup = vec![
+            ("bus-000".to_string(), pairing(2e-3)),
+            ("bus-000".to_string(), pairing(5e-3)),
+        ];
+        store.register_batch(dup);
+        let stored = store.with_pairing("bus-000", |p| p.clone()).unwrap();
+        assert_eq!(stored, pairing(5e-3));
+        assert_eq!(store.generation("bus-000"), 2);
     }
 
     #[test]

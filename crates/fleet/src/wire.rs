@@ -53,11 +53,13 @@ const TAG_ENROLL: u8 = 1;
 const TAG_VERIFY: u8 = 2;
 const TAG_SCAN: u8 = 3;
 const TAG_SNAPSHOT: u8 = 4;
+const TAG_ENROLL_BATCH: u8 = 5;
 
 const RESP_ENROLLED: u8 = 1;
 const RESP_VERDICT: u8 = 2;
 const RESP_SCAN: u8 = 3;
 const RESP_SNAPSHOT: u8 = 4;
+const RESP_ENROLLED_BATCH: u8 = 5;
 
 /// v2 request kinds (byte after the version byte).
 const REQ2_TAGGED: u8 = 1;
@@ -254,6 +256,14 @@ pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
                         out.extend_from_slice(&shard.to_le_bytes());
                     }
                 }
+                Response::EnrolledBatch { devices } => {
+                    out.push(RESP_ENROLLED_BATCH);
+                    out.extend_from_slice(&(devices.len() as u32).to_le_bytes());
+                    for (name, shard) in devices {
+                        put_str(&mut out, name);
+                        out.extend_from_slice(&shard.to_le_bytes());
+                    }
+                }
             }
         }
         Err(err) => {
@@ -334,6 +344,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
                 devices.push((name, c.u32()?));
             }
             Response::Snapshot { devices }
+        }
+        RESP_ENROLLED_BATCH => {
+            let n = c.u32()? as usize;
+            let mut devices = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let name = c.string()?;
+                devices.push((name, c.u32()?));
+            }
+            Response::EnrolledBatch { devices }
         }
         other => {
             return Err(FleetError::Protocol(format!(
@@ -452,6 +471,14 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
             out.extend_from_slice(&nonce.to_le_bytes());
         }
         Request::RegistrySnapshot => out.push(TAG_SNAPSHOT),
+        Request::EnrollBatch { devices } => {
+            out.push(TAG_ENROLL_BATCH);
+            out.extend_from_slice(&(devices.len() as u32).to_le_bytes());
+            for (device, nonce) in devices {
+                put_str(out, device);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -471,6 +498,15 @@ fn take_request_body(c: &mut Cursor<'_>) -> Result<Request, FleetError> {
             nonce: c.u64()?,
         },
         TAG_SNAPSHOT => Request::RegistrySnapshot,
+        TAG_ENROLL_BATCH => {
+            let n = c.u32()? as usize;
+            let mut devices = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let device = c.string()?;
+                devices.push((device, c.u64()?));
+            }
+            Request::EnrollBatch { devices }
+        }
         other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
     })
 }
@@ -1125,6 +1161,17 @@ mod tests {
             Some(Duration::from_millis(1)),
         );
         round_trip_request(Request::RegistrySnapshot, None);
+        round_trip_request(
+            Request::EnrollBatch {
+                devices: vec![
+                    ("bus-000".into(), 7),
+                    ("bus-001".into(), u64::MAX),
+                    ("ünïcode-bus".into(), 0),
+                ],
+            },
+            Some(Duration::from_millis(250)),
+        );
+        round_trip_request(Request::EnrollBatch { devices: vec![] }, None);
     }
 
     #[test]
@@ -1154,6 +1201,10 @@ mod tests {
             Response::Snapshot {
                 devices: vec![("bus-000".into(), 0), ("bus-001".into(), 5)],
             },
+            Response::EnrolledBatch {
+                devices: vec![("bus-000".into(), 2), ("bus-001".into(), 7)],
+            },
+            Response::EnrolledBatch { devices: vec![] },
         ];
         for response in cases {
             let bytes = encode_response(&Ok(response.clone()));

@@ -7,7 +7,7 @@
 //! Fig. 7(a) are similar-but-distinguishable), each terminated by its own
 //! receiver-chip die (same part number, per-die process variation).
 
-use crate::iip::FabricationProcess;
+use crate::iip::{FabricationProcess, IipProfile, LinePrecompute};
 use crate::scatter::TxLine;
 use crate::termination::{ChipInput, Termination};
 use crate::units::{Farads, Meters, Ohms};
@@ -63,6 +63,64 @@ impl BoardConfig {
     }
 }
 
+/// Design-level precomputation shared by every board of a cohort built to
+/// the same [`BoardConfig`]: the per-line sampling precompute
+/// ([`LinePrecompute`] — grid spacing, OU ripple shape, connector bump
+/// window) plus the *nominal* line (uniform `z0` profile terminated by
+/// the nominal chip — the design's golden reference, what a cohort intake
+/// scan compares instances against).
+///
+/// [`Board::fabricate_with`] against one shared instance is bitwise
+/// identical to [`Board::fabricate`] with the same config, so cohort
+/// fabrication pays the design-derived work once for board 0 and only the
+/// per-board perturbation pass (RNG draws and multiplies) for each board
+/// after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPrecompute {
+    config: BoardConfig,
+    line: LinePrecompute,
+    nominal_line: TxLine,
+}
+
+impl DesignPrecompute {
+    /// Precompute the design work for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.line_count == 0` or `config.segments == 0`.
+    pub fn new(config: BoardConfig) -> Self {
+        assert!(config.line_count > 0, "board needs at least one line");
+        let line = config.process.precompute(config.line_length, config.segments);
+        let nominal_line = TxLine::new(
+            IipProfile::uniform(config.process.z0, config.line_length, config.segments),
+            Termination::Chip(config.chip),
+        );
+        Self {
+            config,
+            line,
+            nominal_line,
+        }
+    }
+
+    /// The design this precompute serves.
+    pub fn config(&self) -> &BoardConfig {
+        &self.config
+    }
+
+    /// The shared per-line sampling precompute.
+    pub fn line_precompute(&self) -> &LinePrecompute {
+        &self.line
+    }
+
+    /// The design's nominal line: uniform `z0` impedance with the nominal
+    /// chip termination — no process ripple, no connector assembly
+    /// variation. Cohort intake scans use its response as the golden-free
+    /// similarity reference.
+    pub fn nominal_line(&self) -> &TxLine {
+        &self.nominal_line
+    }
+}
+
 /// A fabricated board: a family of distinct Tx-lines from one process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Board {
@@ -75,19 +133,26 @@ impl Board {
     /// `(config, seed)` always yields the identical board; different seeds
     /// yield different boards (different fabs / different panel positions).
     ///
+    /// Cohort builders that fabricate many boards of one design should
+    /// precompute once and call [`fabricate_with`](Self::fabricate_with).
+    ///
     /// # Panics
     ///
     /// Panics if `config.line_count == 0` or `config.segments == 0`.
     pub fn fabricate(config: &BoardConfig, seed: u64) -> Self {
-        assert!(config.line_count > 0, "board needs at least one line");
+        Self::fabricate_with(&DesignPrecompute::new(config.clone()), seed)
+    }
+
+    /// [`fabricate`](Self::fabricate) against a shared
+    /// [`DesignPrecompute`]: bitwise identical for a precompute built from
+    /// the same config, but the per-board pass only draws the board's
+    /// ripple, assembly, and die randomness.
+    pub fn fabricate_with(design: &DesignPrecompute, seed: u64) -> Self {
+        let config = &design.config;
         let lines = (0..config.line_count)
             .map(|i| {
-                let profile = config.process.sample_profile(
-                    config.line_length,
-                    config.segments,
-                    seed,
-                    i as u64,
-                );
+                let profile =
+                    config.process.sample_profile_with(&design.line, seed, i as u64);
                 let mut chip_rng = DivotRng::derive(seed, 0xC41F_0000 | i as u64);
                 let chip = config.chip.process_variant(config.chip_spread, &mut chip_rng);
                 TxLine::new(profile, Termination::Chip(chip))
@@ -140,6 +205,31 @@ mod tests {
         let a = Board::fabricate(&cfg, 42);
         let b = Board::fabricate(&cfg, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_design_precompute_matches_direct_fabrication() {
+        // Cohort fabrication against one shared DesignPrecompute must be
+        // bitwise identical to fabricating each board solo.
+        let cfg = BoardConfig::small_test();
+        let design = DesignPrecompute::new(cfg.clone());
+        for seed in [1u64, 42, 1_000_003] {
+            assert_eq!(Board::fabricate(&cfg, seed), Board::fabricate_with(&design, seed));
+        }
+        assert_eq!(design.config(), &cfg);
+        assert_eq!(design.line_precompute().segments(), cfg.segments);
+    }
+
+    #[test]
+    fn nominal_line_is_uniform_and_chip_terminated() {
+        let design = DesignPrecompute::new(BoardConfig::small_test());
+        let nominal = design.nominal_line();
+        assert_eq!(nominal.profile.contrast(), 0.0);
+        assert_eq!(nominal.profile.len(), BoardConfig::small_test().segments);
+        assert_eq!(
+            nominal.termination,
+            Termination::Chip(BoardConfig::small_test().chip)
+        );
     }
 
     #[test]

@@ -15,8 +15,37 @@
 //!    which is why Fig. 7(a)'s impostor distribution sits well above zero.
 
 use crate::units::{Meters, Ohms};
-use divot_dsp::rng::{DivotRng, OrnsteinUhlenbeck};
+use divot_dsp::rng::{DivotRng, OrnsteinUhlenbeck, OuCoeffs};
 use serde::{Deserialize, Serialize};
+
+/// Design-level precomputation of [`FabricationProcess::sample_profile`]:
+/// everything the sampler derives from `(process, length, segments)` alone
+/// — the grid spacing, the OU ripple shape (an `exp`), and the connector
+/// bump window — none of which consumes randomness. One instance serves
+/// every line of every board built to the same design, so cohort
+/// fabrication pays the design work once (see
+/// [`DesignPrecompute`](crate::board::DesignPrecompute)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinePrecompute {
+    dx: f64,
+    segments: usize,
+    ou: OuCoeffs,
+    /// `0.5 + shape(i)` of the half-cosine connector window, per bump
+    /// segment from the line end inward.
+    bump_gain: Vec<f64>,
+}
+
+impl LinePrecompute {
+    /// The grid spacing the profile is sampled on.
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// The number of segments the precompute was built for.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+}
 
 /// Statistical description of the PCB fabrication process that produces
 /// Tx-lines, i.e. the prior from which IIPs are drawn.
@@ -75,41 +104,72 @@ impl FabricationProcess {
         seed: u64,
         line_index: u64,
     ) -> IipProfile {
+        self.sample_profile_with(&self.precompute(length, segments), seed, line_index)
+    }
+
+    /// Precompute the design-level (randomness-free) part of
+    /// [`sample_profile`](Self::sample_profile) for `(length, segments)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `length <= 0`.
+    pub fn precompute(&self, length: Meters, segments: usize) -> LinePrecompute {
         assert!(segments > 0, "need at least one segment");
         assert!(length.0 > 0.0, "length must be positive");
         let dx = length.0 / segments as f64;
-        let rng = DivotRng::derive(seed, 0x11F0_0000 | line_index);
-        let mut ou = OrnsteinUhlenbeck::new(
-            self.relative_sigma,
-            self.correlation_length.0,
-            dx,
-            rng,
-        );
-        let mut z: Vec<f64> = (0..segments)
-            .map(|_| self.z0.0 * (1.0 + ou.next_sample()))
+        let ou = OuCoeffs::new(self.relative_sigma, self.correlation_length.0, dx);
+        let bump_segs = ((self.connector_length.0 / dx).round() as usize).max(1);
+        let bump_gain = (0..bump_segs)
+            .map(|i| {
+                // Half-cosine bump shape so the discontinuity is
+                // band-limited.
+                let frac = (i as f64 + 0.5) / bump_segs as f64;
+                let shape =
+                    0.5 * (1.0 - (std::f64::consts::PI * (2.0 * frac - 1.0)).cos().abs());
+                0.5 + shape
+            })
             .collect();
-        let mut asm_rng = DivotRng::derive(seed, 0xA55E_0000 | line_index);
-        self.apply_connector_bumps(&mut z, dx, &mut asm_rng);
-        IipProfile {
-            z,
-            segment_length: Meters(dx),
+        LinePrecompute {
+            dx,
+            segments,
+            ou,
+            bump_gain,
         }
     }
 
-    fn apply_connector_bumps(&self, z: &mut [f64], dx: f64, asm_rng: &mut DivotRng) {
-        let bump_segs = ((self.connector_length.0 / dx).round() as usize).max(1);
+    /// [`sample_profile`](Self::sample_profile) against a shared
+    /// [`LinePrecompute`]: bitwise identical for a precompute built from
+    /// the same `(process, length, segments)`, but the per-line pass only
+    /// draws randomness — it repeats none of the design arithmetic.
+    pub fn sample_profile_with(
+        &self,
+        pre: &LinePrecompute,
+        seed: u64,
+        line_index: u64,
+    ) -> IipProfile {
+        let rng = DivotRng::derive(seed, 0x11F0_0000 | line_index);
+        let mut ou = OrnsteinUhlenbeck::with_coeffs(pre.ou, rng);
+        let mut z: Vec<f64> = (0..pre.segments)
+            .map(|_| self.z0.0 * (1.0 + ou.next_sample()))
+            .collect();
+        let mut asm_rng = DivotRng::derive(seed, 0xA55E_0000 | line_index);
+        self.apply_connector_bumps(pre, &mut z, &mut asm_rng);
+        IipProfile {
+            z,
+            segment_length: Meters(pre.dx),
+        }
+    }
+
+    fn apply_connector_bumps(&self, pre: &LinePrecompute, z: &mut [f64], asm_rng: &mut DivotRng) {
         let n = z.len();
         // Each end's realized bump amplitude varies with assembly.
         let amp_near =
             self.connector_bump * (1.0 + asm_rng.normal(0.0, self.connector_variation));
         let amp_far =
             self.connector_bump * (1.0 + asm_rng.normal(0.0, self.connector_variation));
-        for i in 0..bump_segs.min(n) {
-            // Half-cosine bump shape so the discontinuity is band-limited.
-            let frac = (i as f64 + 0.5) / bump_segs as f64;
-            let shape = 0.5 * (1.0 - (std::f64::consts::PI * (2.0 * frac - 1.0)).cos().abs());
-            z[i] *= 1.0 + amp_near * (0.5 + shape);
-            z[n - 1 - i] *= 1.0 + amp_far * (0.5 + shape);
+        for (i, &gain) in pre.bump_gain.iter().take(n).enumerate() {
+            z[i] *= 1.0 + amp_near * gain;
+            z[n - 1 - i] *= 1.0 + amp_far * gain;
         }
     }
 }
@@ -301,6 +361,19 @@ mod tests {
         let a = p.sample_profile(Meters(0.25), 512, 7, 0);
         let b = p.sample_profile(Meters(0.25), 512, 7, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_precompute_matches_direct_sampling() {
+        let p = process();
+        let pre = p.precompute(Meters(0.25), 512);
+        assert_eq!(pre.segments(), 512);
+        assert!((pre.dx() - 0.25 / 512.0).abs() < 1e-18);
+        for line in 0..3u64 {
+            let direct = p.sample_profile(Meters(0.25), 512, 7, line);
+            let shared = p.sample_profile_with(&pre, 7, line);
+            assert_eq!(direct, shared);
+        }
     }
 
     #[test]

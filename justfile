@@ -40,21 +40,30 @@ bench-itdr:
     CRITERION_JSON="$(pwd)/BENCH_itdr.json" cargo bench -p divot-bench --bench itdr
 
 # Fleet attestation smoke: enroll 8 buses, 64 concurrent verifies over
-# loopback TCP, then a 1-vs-8-worker scaling gate. Zero sheds, all-accept,
-# bitwise-identical verdicts across worker counts, warm p50 < 2 ms, and
-# speedup-not-inverted (on >=2 cores) are hard claims (nonzero exit on a
-# MISS).
+# loopback TCP, a 1-vs-8-worker scaling gate, then the cohort smoke (one
+# 64-board EnrollBatch under the 4 ms/board amortized budget). Zero
+# sheds, all-accept, bitwise-identical verdicts across worker counts,
+# warm p50 < 2 ms, and speedup-not-inverted (on >=2 cores) are hard
+# claims (nonzero exit on a MISS).
 fleet-demo:
     cargo run --release -p divot-bench --bin fleet_load -- --quick
 
 # Full fleet load benchmark: 64 buses, 16 concurrent clients, cold
 # (first-touch fabrication) and warm (cached) phases at 1 and 8 workers,
-# the overload/shedding phase, and the wire phases (reactor-vs-threaded,
-# 10k connections, churn, fairness). Writes BENCH_fleet.json (per-phase
-# throughput, p50/p99, speedups, shed rate, wire metrics) at the repo
-# root.
+# the overload/shedding phase, the 1000-board cohort intake, and the
+# wire phases (reactor-vs-threaded, 10k connections, churn, fairness).
+# Writes BENCH_fleet.json (per-phase throughput, p50/p99, speedups, shed
+# rate, cohort and wire metrics) at the repo root.
 bench-fleet:
     cargo run --release -p divot-bench --bin fleet_load
+
+# Cohort cold path only: enroll a fresh 1000-board cohort through
+# chunked EnrollBatch requests on one worker, against a solo-enroll
+# baseline. Hard claim: amortized cold p50 <= 4 ms/board (algorithmic —
+# asserted on any core count; the batch-vs-solo ratio is only asserted
+# on >=2 cores). Writes BENCH_fleet.json with the fleet/cohort/* metrics.
+bench-cohort:
+    DIVOT_FLEET_PHASES=cohort cargo run --release -p divot-bench --bin fleet_load
 
 # Wire phases only: threaded-vs-reactor throughput at 1024 connections
 # (>=5x claim), byte-equivalence probe, 10k-connection scaling (child
