@@ -1303,9 +1303,13 @@ fn wire_fairness_phase() -> Vec<(String, f64)> {
 }
 
 /// The `--quick` reactor smoke: 512 pipelined connections in-process,
-/// zero protocol errors, zero sheds, bounded p99.
+/// zero protocol errors, zero sheds, bounded p99 — then a wire stats
+/// probe asserting the health plane sees the burst it just served.
 fn quick_wire_smoke() {
     banner("wire smoke (512 pipelined conns over the reactor)");
+    // The stats snapshot reads this process's metric registry; make
+    // sure one exists even without `--telemetry`/`--metrics-summary`.
+    let _ = divot_telemetry::install(divot_telemetry::Telemetry::new());
     const SPAN: usize = 512;
     let svc = start_wire_service(SPAN);
     let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind reactor");
@@ -1323,6 +1327,108 @@ fn quick_wire_smoke() {
     report_drive(&report, s.conns * s.per_conn);
     print_claim("wire_smoke_zero_errors", report.errors == 0 && report.sheds == 0);
     print_claim("wire_smoke_p99_under_500ms", report.p99_us < 500_000);
+
+    banner("wire smoke (stats probe)");
+    let mut probe =
+        PipelinedFleetClient::connect(server.local_addr()).expect("connect stats probe");
+    let stats = probe.request_stats(None).expect("wire stats");
+    let verifies = stats
+        .histogram("fleet.request.latency.verify")
+        .map_or(0, |(count, ..)| count);
+    print_metric("stats_queue_capacity", stats.queue_capacity);
+    print_metric("stats_verify_count", verifies);
+    print_metric(
+        "stats_verify_accepts",
+        stats.counter("fleet.verify.accepts").unwrap_or(0),
+    );
+    print_claim(
+        "wire_stats_sees_verifies",
+        stats.queue_capacity > 0
+            && verifies > 0
+            && stats.counter("fleet.verify.accepts").unwrap_or(0) > 0,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Observability: tracing overhead and identity
+// ---------------------------------------------------------------------
+
+/// Measure the tracing tax on the warm verify path: one service run
+/// with no tracer in the process, one identically-seeded run after
+/// installing the process tracer at 1-in-16 sampling. Claims: verdict
+/// bits identical, warm p50 within 5%.
+///
+/// Installing a tracer is one-way, so the off-pass MUST come first; if
+/// `--trace` already installed one (or this phase ran twice), the
+/// comparison is impossible and the claims are reported SKIPPED.
+fn trace_overhead_phase(buses: usize, clients: usize, requests: usize) -> Vec<(String, f64)> {
+    banner("trace overhead (warm verify p50, 1-in-16 sampling)");
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    if divot_telemetry::tracer().is_some() {
+        print_metric(
+            "trace_overhead",
+            "SKIPPED (a tracer is already installed; the tracing-off baseline cannot run)",
+        );
+        return metrics;
+    }
+
+    // Min-of-three warm p50 per configuration: the estimator a few
+    // hundred microseconds of scheduler noise cannot flip.
+    let best = |label: &str| {
+        let mut best: Option<Run> = None;
+        for _ in 0..3 {
+            let run = run_workers(2, buses, clients, requests);
+            let keep = match &best {
+                Some(b) => {
+                    quantile(&run.warm.samples, 0.5) < quantile(&b.warm.samples, 0.5)
+                }
+                None => true,
+            };
+            if keep {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("three passes ran");
+        print_metric(
+            &format!("warm_p50_ms_{label}"),
+            ms(quantile(&run.warm.samples, 0.5)),
+        );
+        run
+    };
+
+    let off = best("tracing_off");
+    let sink_path = std::env::temp_dir().join("fleet_load_trace.jsonl");
+    let tracer = divot_telemetry::Tracer::to_file(&sink_path, 16).expect("trace sink");
+    let installed = divot_telemetry::install_tracer(tracer).is_ok();
+    assert!(installed, "no tracer existed above; install must win");
+    let on = best("tracing_on");
+
+    let spans = divot_telemetry::tracer().map_or(0, |t| t.emitted());
+    print_metric("trace_spans_emitted", spans);
+    print_metric("trace_sink", sink_path.display());
+
+    let p50_off = quantile(&off.warm.samples, 0.5);
+    let p50_on = quantile(&on.warm.samples, 0.5);
+    let overhead = p50_on.as_secs_f64() / p50_off.as_secs_f64().max(1e-12) - 1.0;
+    print_metric("trace_warm_p50_overhead_pct", format!("{:.2}", overhead * 100.0));
+    print_claim(
+        "trace_verdicts_bitwise_identical",
+        off.cold.bits() == on.cold.bits() && off.warm.bits() == on.warm.bits(),
+    );
+    print_claim("trace_spans_nonzero", spans > 0);
+    print_claim("trace_warm_p50_within_5pct", overhead <= 0.05);
+
+    metrics.push((
+        "fleet/trace/warm_p50_off_ms".into(),
+        p50_off.as_secs_f64() * 1e3,
+    ));
+    metrics.push((
+        "fleet/trace/warm_p50_on_ms".into(),
+        p50_on.as_secs_f64() * 1e3,
+    ));
+    metrics.push(("fleet/trace/overhead_pct".into(), overhead * 100.0));
+    metrics.push(("fleet/trace/spans_emitted".into(), spans as f64));
+    metrics
 }
 
 /// Render the criterion-shim-shaped JSON document.
@@ -1417,12 +1523,14 @@ fn main() -> std::process::ExitCode {
 
     // `DIVOT_FLEET_PHASES`: `all` (default), `classic` (worker-scaling
     // and overload only), `cohort` (the batched-enrollment cold path —
-    // what `just bench-cohort` runs), or `wire` (the event-driven wire
-    // layer only — what `just bench-wire` runs).
+    // what `just bench-cohort` runs), `wire` (the event-driven wire
+    // layer only — what `just bench-wire` runs), or `trace` (the
+    // tracing-overhead comparison only).
     let phases = std::env::var("DIVOT_FLEET_PHASES").unwrap_or_else(|_| "all".to_owned());
     let run_classic = matches!(phases.as_str(), "all" | "classic");
     let run_cohort = matches!(phases.as_str(), "all" | "cohort");
     let run_wire = matches!(phases.as_str(), "all" | "wire");
+    let run_trace = matches!(phases.as_str(), "all" | "trace");
 
     const BUSES: usize = 64;
     const REQUESTS: usize = 256;
@@ -1455,6 +1563,12 @@ fn main() -> std::process::ExitCode {
     }
 
     let mut wire_metrics: Vec<(String, f64)> = Vec::new();
+    // Tracing-off baseline first: installing the process tracer is
+    // one-way, so this phase must precede nothing that traces — and
+    // everything above ran without one.
+    if run_trace {
+        wire_metrics.extend(trace_overhead_phase(BUSES, CLIENTS, REQUESTS));
+    }
     if run_cohort {
         wire_metrics.extend(cohort_phase(1000, 64, cores));
     }

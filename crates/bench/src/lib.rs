@@ -124,6 +124,13 @@ pub struct BenchArgs {
     pub telemetry: Option<String>,
     /// `--metrics-summary`: print the metric registry at exit.
     pub metrics_summary: bool,
+    /// `--trace <path.jsonl>`: write sampled request trace spans to
+    /// this file (a dedicated sink — traces never interleave with
+    /// `--telemetry` events).
+    pub trace: Option<String>,
+    /// `--trace-sample <n>`: trace one request in `n` (default 16;
+    /// `1` traces everything).
+    pub trace_sample: u64,
 }
 
 impl Default for BenchArgs {
@@ -134,6 +141,8 @@ impl Default for BenchArgs {
             acq_mode: AcqMode::Trial,
             telemetry: None,
             metrics_summary: false,
+            trace: None,
+            trace_sample: 16,
         }
     }
 }
@@ -185,6 +194,25 @@ impl BenchArgs {
                             .ok_or("--telemetry requires a file path")?,
                     );
                 }
+                "--trace" => {
+                    out.trace = Some(
+                        inline
+                            .or_else(|| it.next())
+                            .ok_or("--trace requires a file path")?,
+                    );
+                }
+                "--trace-sample" => {
+                    let v = inline
+                        .or_else(|| it.next())
+                        .ok_or("--trace-sample requires a value")?;
+                    out.trace_sample = v
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("--trace-sample: `{v}` is not a positive integer")
+                        })?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -194,7 +222,8 @@ impl BenchArgs {
 
 /// The usage line printed when argument parsing fails.
 pub const USAGE: &str = "usage: <bench-binary> [--serial] [--quick] \
-    [--acq-mode <trial|analytic>] [--telemetry <path.jsonl>] [--metrics-summary]";
+    [--acq-mode <trial|analytic>] [--telemetry <path.jsonl>] [--metrics-summary] \
+    [--trace <path.jsonl>] [--trace-sample <n>]";
 
 /// The shared bench command line, activated: `--serial` latched into
 /// [`divot_core::exec::force_serial`], telemetry installed as the
@@ -246,6 +275,17 @@ impl BenchCli {
             // First install wins; a pre-installed default (tests) is fine.
             let _ = divot_telemetry::install(telemetry);
         }
+        if let Some(path) = &args.trace {
+            match divot_telemetry::Tracer::to_file(path, args.trace_sample) {
+                Ok(tracer) => {
+                    let _ = divot_telemetry::install_tracer(tracer);
+                }
+                Err(e) => {
+                    eprintln!("error: --trace {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         let policy = ExecPolicy::auto();
         Self { args, policy }
     }
@@ -280,6 +320,9 @@ impl BenchCli {
 
 impl Drop for BenchCli {
     fn drop(&mut self) {
+        if let Err(e) = divot_telemetry::flush_tracer() {
+            eprintln!("warning: trace sink: {e}");
+        }
         let Some(t) = divot_telemetry::global() else {
             return;
         };
@@ -510,18 +553,33 @@ mod tests {
             "--telemetry",
             "/tmp/t.jsonl",
             "--metrics-summary",
+            "--trace",
+            "/tmp/trace.jsonl",
+            "--trace-sample",
+            "8",
         ])
         .unwrap();
         assert!(args.serial && args.quick && args.metrics_summary);
         assert_eq!(args.acq_mode, AcqMode::Analytic);
         assert_eq!(args.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(args.trace.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(args.trace_sample, 8);
 
         // `=` forms and defaults.
-        let args = parse(&["--acq-mode=trial", "--telemetry=x.jsonl"]).unwrap();
+        let args = parse(&[
+            "--acq-mode=trial",
+            "--telemetry=x.jsonl",
+            "--trace=y.jsonl",
+            "--trace-sample=1",
+        ])
+        .unwrap();
         assert_eq!(args.acq_mode, AcqMode::Trial);
         assert_eq!(args.telemetry.as_deref(), Some("x.jsonl"));
+        assert_eq!(args.trace.as_deref(), Some("y.jsonl"));
+        assert_eq!(args.trace_sample, 1);
         assert!(!args.serial && !args.quick && !args.metrics_summary);
         assert_eq!(parse(&[]).unwrap(), BenchArgs::default());
+        assert_eq!(parse(&[]).unwrap().trace_sample, 16, "1-in-16 default");
     }
 
     #[test]
@@ -531,6 +589,10 @@ mod tests {
         assert!(parse(&["--acq-mode"]).unwrap_err().contains("requires a value"));
         assert!(parse(&["--telemetry"]).unwrap_err().contains("requires a file path"));
         assert!(parse(&["--acq-mode", "analitic"]).unwrap_err().contains("--acq-mode"));
+        assert!(parse(&["--trace"]).unwrap_err().contains("requires a file path"));
+        assert!(parse(&["--trace-sample"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--trace-sample", "0"]).unwrap_err().contains("positive integer"));
+        assert!(parse(&["--trace-sample", "many"]).unwrap_err().contains("positive integer"));
         assert!(parse(&["--serial=1"]).unwrap_err().contains("takes no value"));
         assert!(parse(&["--quick=yes"]).unwrap_err().contains("takes no value"));
     }

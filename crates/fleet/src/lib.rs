@@ -64,9 +64,24 @@
 //! `fleet.reactor.wakeups`, `fleet.reactor.frames`,
 //! `fleet.reactor.frames_per_wakeup`, `fleet.reactor.pipeline_depth`,
 //! `fleet.reactor.batch_width`, `fleet.reactor.inline_hits`,
-//! `fleet.reactor.coalesced`, `fleet.reactor.sheds_fair`,
-//! `fleet.reactor.pushes`, `fleet.reactor.push_skips`, and the gauges
-//! `fleet.reactor.conns` / `fleet.reactor.subs`.
+//! `fleet.reactor.inline_stats`, `fleet.reactor.coalesced`,
+//! `fleet.reactor.sheds_fair`, `fleet.reactor.pushes`,
+//! `fleet.reactor.push_skips`, and the gauges `fleet.reactor.conns` /
+//! `fleet.reactor.subs`. `fleet.queue.wait_ns` and the per-shard
+//! `fleet.store.shard.NNN.lock_hold_ns` histograms time the admission
+//! queue and store-lock critical sections.
+//!
+//! # Observability plane
+//!
+//! The whole stack is observable without being influenceable: metrics
+//! ([`divot_telemetry`] counters/gauges/histograms), deterministic
+//! per-request traces
+//! ([`divot_telemetry::TraceCtx`], sampled by a pure hash of the
+//! request), and wire-exposed stats ([`Request::Stats`] →
+//! [`FleetStats`], plus streaming stats subscriptions) all read state;
+//! none feed back into scheduling or verdicts. See the
+//! `ARCHITECTURE.md` "Observability plane" section for the trace
+//! lifecycle and stats wire flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,8 +97,8 @@ pub mod wire;
 pub use error::{FleetError, ShedReason};
 pub use reactor::ReactorConfig;
 pub use service::{
-    Completion, CompletionQueue, FleetClient, FleetConfig, FleetService, Request, Response,
-    RetryPolicy,
+    Completion, CompletionQueue, FleetClient, FleetConfig, FleetService, FleetStats, Request,
+    Response, RetryPolicy,
 };
 pub use sim::{subscription_nonce, FleetSimConfig, SimulatedFleet};
 pub use store::FleetStore;

@@ -46,12 +46,21 @@
 //! subscriptions: the reactor pushes one scan frame per interval, each
 //! acquired under [`subscription_nonce`]`(base, seq)` — bitwise what an
 //! explicit scan with that nonce returns — until the frame budget
-//! empties, the client unsubscribes, or the connection dies.
+//! empties, the client unsubscribes, or the connection dies. Stats
+//! subscriptions stream periodic [`Response::StatsSnapshot`] frames
+//! built inline on the reactor thread (same id namespace, same
+//! ack/end lifecycle, no acquisition).
+//!
+//! **Health probes.** `Request::Stats` is answered inline by the
+//! reactor from the telemetry registry snapshot — it never enters the
+//! worker queue, so a saturated pool cannot delay an operator's view
+//! of that saturation.
 //!
 //! **Telemetry.** `fleet.reactor.wakeups`, `fleet.reactor.frames`,
 //! `fleet.reactor.frames_per_wakeup`, `fleet.reactor.pipeline_depth`,
 //! `fleet.reactor.batch_width` (via the service),
-//! `fleet.reactor.inline_hits`, `fleet.reactor.coalesced`,
+//! `fleet.reactor.inline_hits`, `fleet.reactor.inline_stats`,
+//! `fleet.reactor.coalesced`,
 //! `fleet.reactor.sheds_fair`, `fleet.reactor.pushes`,
 //! `fleet.reactor.push_skips`, `fleet.reactor.protocol_errors`,
 //! `fleet.reactor.accept_errors`, and the gauges
@@ -61,8 +70,8 @@ use crate::error::{FleetError, ShedReason};
 use crate::service::{Completion, CompletionQueue, FleetClient, Request, Response};
 use crate::sim::subscription_nonce;
 use crate::wire::{
-    decode_wire_request, encode_response, encode_scan_frame, encode_sub_ack, encode_sub_end,
-    encode_tagged_response, FrameBuffer, WireRequest, MAX_FRAME,
+    decode_wire_request, encode_response, encode_scan_frame, encode_stats_frame, encode_sub_ack,
+    encode_sub_end, encode_tagged_response, FrameBuffer, WireRequest, MAX_FRAME,
 };
 use divot_polling::{Event, Poller};
 use std::cmp::Reverse;
@@ -208,6 +217,18 @@ struct Sub {
     inflight: bool,
 }
 
+/// One streaming stats subscription. Unlike scan subscriptions, stats
+/// frames are built inline on the reactor thread (a registry snapshot,
+/// no acquisition), so there is no in-service `inflight` state.
+struct StatsSub {
+    interval: Duration,
+    /// `0` = unbounded.
+    max_frames: u32,
+    /// Next frame's sequence number == frames pushed so far.
+    seq: u64,
+    next_due: Instant,
+}
+
 /// Everything [`spawn`] hands back to [`crate::wire::FleetTcpServer`].
 pub(crate) struct ReactorHandle {
     pub(crate) addr: SocketAddr,
@@ -247,6 +268,8 @@ pub(crate) fn spawn(
         pending: HashMap::new(),
         subs: HashMap::new(),
         timers: BinaryHeap::new(),
+        stats_subs: HashMap::new(),
+        stats_timers: BinaryHeap::new(),
         next_key: 0,
         next_token: 0,
         cursor: 0,
@@ -284,7 +307,10 @@ fn coalesce_key(request: &Request) -> Option<CoalesceKey> {
     match request {
         Request::Verify { device, nonce } => Some((0, device.clone(), *nonce)),
         Request::MonitorScan { device, nonce } => Some((1, device.clone(), *nonce)),
-        Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => None,
+        Request::Enroll { .. }
+        | Request::EnrollBatch { .. }
+        | Request::RegistrySnapshot
+        | Request::Stats => None,
     }
 }
 
@@ -309,6 +335,11 @@ struct Reactor {
     subs: HashMap<(usize, u64), Sub>,
     /// Subscription tick queue (lazily invalidated on re-arm/removal).
     timers: BinaryHeap<Reverse<(Instant, usize, u64)>>,
+    /// Streaming stats subscriptions, sharing the per-connection id
+    /// namespace with scan subscriptions.
+    stats_subs: HashMap<(usize, u64), StatsSub>,
+    /// Stats tick queue (lazily invalidated like `timers`).
+    stats_timers: BinaryHeap<Reverse<(Instant, usize, u64)>>,
     next_key: usize,
     next_token: u64,
     /// Round-robin admission cursor (last connection that admitted).
@@ -356,6 +387,7 @@ impl Reactor {
             }
             self.admit(now);
             self.tick_subs(Instant::now());
+            self.tick_stats_subs(Instant::now());
             self.shed_expired(Instant::now());
             self.flush_dirty();
             self.reap_dead();
@@ -369,6 +401,10 @@ impl Reactor {
         let mut timeout: Option<Duration> = None;
         if let Some(&Reverse((due, _, _))) = self.timers.peek() {
             timeout = Some(due.saturating_duration_since(now));
+        }
+        if let Some(&Reverse((due, _, _))) = self.stats_timers.peek() {
+            let until = due.saturating_duration_since(now);
+            timeout = Some(timeout.map_or(until, |t| t.min(until)));
         }
         if !self.parked_conns.is_empty() {
             let cap = self.config.admission_timeout;
@@ -508,9 +544,28 @@ impl Reactor {
                 };
                 self.handle_subscribe(key, id, sub);
             }
+            Ok(WireRequest::StatsSubscribe {
+                id,
+                interval,
+                max_frames,
+            }) => {
+                let sub = StatsSub {
+                    // Same busy-spin guard as scan subscriptions.
+                    interval: interval.max(Duration::from_millis(1)),
+                    max_frames,
+                    seq: 0,
+                    next_due: now,
+                };
+                self.handle_stats_subscribe(key, id, sub);
+            }
             Ok(WireRequest::Unsubscribe { target, .. }) => {
-                let frames = self.subs.remove(&(key, target)).map_or(0, |s| s.seq);
-                divot_telemetry::set_gauge("fleet.reactor.subs", self.subs.len() as f64);
+                // Scan and stats subscriptions share the id namespace;
+                // whichever holds the id ends.
+                let frames = match self.stats_subs.remove(&(key, target)) {
+                    Some(s) => s.seq,
+                    None => self.subs.remove(&(key, target)).map_or(0, |s| s.seq),
+                };
+                self.set_subs_gauge();
                 self.write_to(key, &encode_sub_end(target, frames));
             }
         }
@@ -540,6 +595,21 @@ impl Reactor {
             }
         };
         if inline_ok {
+            // Stats are a health probe: answered on the reactor thread
+            // from the registry snapshot, never queued behind a
+            // saturated worker pool.
+            if matches!(request, Request::Stats) {
+                divot_telemetry::inc("fleet.reactor.inline_stats");
+                let response = Response::StatsSnapshot {
+                    stats: self.client.stats(),
+                };
+                let frame = match origin {
+                    ParkedOrigin::Plain => encode_response(&Ok(response)),
+                    ParkedOrigin::Tagged(id) => encode_tagged_response(id, &Ok(response)),
+                };
+                self.write_to(key, &frame);
+                return;
+            }
             if let Some(response) = self.client.try_cached(&request) {
                 divot_telemetry::inc("fleet.reactor.inline_hits");
                 let frame = match origin {
@@ -816,8 +886,16 @@ impl Reactor {
         }
     }
 
+    /// `fleet.reactor.subs` counts both subscription kinds.
+    fn set_subs_gauge(&self) {
+        divot_telemetry::set_gauge(
+            "fleet.reactor.subs",
+            (self.subs.len() + self.stats_subs.len()) as f64,
+        );
+    }
+
     fn handle_subscribe(&mut self, key: usize, id: u64, sub: Sub) {
-        if self.subs.contains_key(&(key, id)) {
+        if self.subs.contains_key(&(key, id)) || self.stats_subs.contains_key(&(key, id)) {
             self.write_to(
                 key,
                 &encode_tagged_response(
@@ -839,7 +917,85 @@ impl Reactor {
         self.write_to(key, &encode_sub_ack(id, sub.interval));
         self.timers.push(Reverse((sub.next_due, key, id)));
         self.subs.insert((key, id), sub);
-        divot_telemetry::set_gauge("fleet.reactor.subs", self.subs.len() as f64);
+        self.set_subs_gauge();
+    }
+
+    fn handle_stats_subscribe(&mut self, key: usize, id: u64, sub: StatsSub) {
+        if self.subs.contains_key(&(key, id)) || self.stats_subs.contains_key(&(key, id)) {
+            self.write_to(
+                key,
+                &encode_tagged_response(
+                    id,
+                    &Err(FleetError::Protocol(format!(
+                        "subscription id {id} already active"
+                    ))),
+                ),
+            );
+            return;
+        }
+        self.write_to(key, &encode_sub_ack(id, sub.interval));
+        self.stats_timers.push(Reverse((sub.next_due, key, id)));
+        self.stats_subs.insert((key, id), sub);
+        self.set_subs_gauge();
+    }
+
+    /// Fire due stats ticks. Frames are a registry snapshot built right
+    /// here on the reactor thread — no worker round trip — so the only
+    /// flow control is the peer's write buffer: a backed-up connection
+    /// skips the tick and `seq` advances only when a frame is pushed.
+    fn tick_stats_subs(&mut self, now: Instant) {
+        while let Some(&Reverse((due, key, id))) = self.stats_timers.peek() {
+            if due > now {
+                break;
+            }
+            self.stats_timers.pop();
+            let action = {
+                let Some(sub) = self.stats_subs.get_mut(&(key, id)) else {
+                    continue; // unsubscribed or conn died: stale timer
+                };
+                if sub.next_due != due {
+                    continue; // re-armed elsewhere: stale timer
+                }
+                let backed_up = self
+                    .conns
+                    .get(&key)
+                    .is_none_or(|c| c.pending_write() >= self.config.write_capacity);
+                if backed_up {
+                    sub.next_due = now + sub.interval;
+                    None
+                } else {
+                    let seq = sub.seq;
+                    sub.seq += 1;
+                    let exhausted = sub.max_frames > 0 && sub.seq >= u64::from(sub.max_frames);
+                    if !exhausted {
+                        sub.next_due = now + sub.interval;
+                    }
+                    Some((seq, exhausted, sub.seq))
+                }
+            };
+            match action {
+                None => {
+                    divot_telemetry::inc("fleet.reactor.push_skips");
+                    if let Some(sub) = self.stats_subs.get(&(key, id)) {
+                        self.stats_timers.push(Reverse((sub.next_due, key, id)));
+                    }
+                }
+                Some((seq, exhausted, frames)) => {
+                    let outcome = Ok(Response::StatsSnapshot {
+                        stats: self.client.stats(),
+                    });
+                    divot_telemetry::inc("fleet.reactor.pushes");
+                    self.write_to(key, &encode_stats_frame(id, seq, &outcome));
+                    if exhausted {
+                        self.stats_subs.remove(&(key, id));
+                        self.set_subs_gauge();
+                        self.write_to(key, &encode_sub_end(id, frames));
+                    } else if let Some(sub) = self.stats_subs.get(&(key, id)) {
+                        self.stats_timers.push(Reverse((sub.next_due, key, id)));
+                    }
+                }
+            }
+        }
     }
 
     /// Fire due subscription ticks: serve the frame inline from the
@@ -944,7 +1100,7 @@ impl Reactor {
         let frames = sub.seq;
         if failed || exhausted {
             self.subs.remove(&(key, id));
-            divot_telemetry::set_gauge("fleet.reactor.subs", self.subs.len() as f64);
+            self.set_subs_gauge();
             divot_telemetry::inc("fleet.reactor.pushes");
             self.write_to(key, &encode_scan_frame(id, seq, &outcome));
             self.write_to(key, &encode_sub_end(id, frames));
@@ -1068,10 +1224,11 @@ impl Reactor {
             self.parked_conns.remove(&key);
             self.dirty.remove(&key);
             self.subs.retain(|&(c, _), _| c != key);
+            self.stats_subs.retain(|&(c, _), _| c != key);
             // In-flight tokens keep their waiter entries; delivery
             // skips missing connections (keys are never reused).
         }
         divot_telemetry::set_gauge("fleet.reactor.conns", self.conns.len() as f64);
-        divot_telemetry::set_gauge("fleet.reactor.subs", self.subs.len() as f64);
+        self.set_subs_gauge();
     }
 }

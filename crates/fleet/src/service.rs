@@ -38,7 +38,7 @@ use divot_core::auth::{AuthPolicy, Authenticator};
 use divot_core::exec::ExecPolicy;
 use divot_core::tamper::{TamperDetector, TamperPolicy};
 use divot_dsp::rng::{mix_seed, DivotRng};
-use divot_telemetry::Value;
+use divot_telemetry::{MetricSnapshot, TraceCtx, Value};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -87,6 +87,11 @@ pub enum Request {
     },
     /// List every enrolled device and its shard.
     RegistrySnapshot,
+    /// Export the service's operational stats: queue depth, telemetry
+    /// counters/gauges, and per-kind latency quantiles. Served without
+    /// running the acquisition engine; the reactor transport answers it
+    /// inline without touching the worker pool.
+    Stats,
 }
 
 impl Request {
@@ -98,6 +103,7 @@ impl Request {
             Self::Verify { .. } => "verify",
             Self::MonitorScan { .. } => "scan",
             Self::RegistrySnapshot => "snapshot",
+            Self::Stats => "stats",
         }
     }
 
@@ -111,7 +117,42 @@ impl Request {
             Self::Verify { .. } => "fleet.request.latency.verify",
             Self::MonitorScan { .. } => "fleet.request.latency.scan",
             Self::RegistrySnapshot => "fleet.request.latency.snapshot",
+            Self::Stats => "fleet.request.latency.stats",
         }
+    }
+
+    /// The deterministic trace-sampling seed: an FNV-1a hash of the
+    /// device identity folded with the request nonce. The same request
+    /// hashes to the same seed on the client, the reactor, and the
+    /// worker, so every layer independently reaches the same sampling
+    /// decision without threading a context through the wire protocol.
+    /// `None` for kinds with no acquisition identity (snapshot, stats).
+    fn trace_seed(&self) -> Option<u64> {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let fnv = |name: &str| {
+            let mut h = OFFSET;
+            for &b in name.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        };
+        match self {
+            Self::Enroll { device, nonce }
+            | Self::Verify { device, nonce }
+            | Self::MonitorScan { device, nonce } => Some(fnv(device) ^ nonce),
+            Self::EnrollBatch { devices } => {
+                devices.first().map(|(device, nonce)| fnv(device) ^ nonce)
+            }
+            Self::RegistrySnapshot | Self::Stats => None,
+        }
+    }
+
+    /// This request's trace context: `Some` only when a tracer is
+    /// installed ([`divot_telemetry::install_tracer`]) and the request's
+    /// seed lands in the deterministic 1-in-N sample.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        TraceCtx::sample(self.trace_seed()?)
     }
 }
 
@@ -156,6 +197,59 @@ pub enum Response {
         /// `(device, shard)` rows, sorted by device name.
         devices: Vec<(String, u32)>,
     },
+    /// The service's operational stats (see [`FleetStats`]).
+    StatsSnapshot {
+        /// The exported snapshot.
+        stats: FleetStats,
+    },
+}
+
+/// A point-in-time export of the service's operational state: what
+/// [`Request::Stats`] returns and what `fleet_top` renders. Metric rows
+/// come from the installed telemetry default's registry in lexicographic
+/// name order; with no telemetry installed the rows are empty but the
+/// queue fields still report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetStats {
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: u32,
+    /// The admission queue's capacity (sheds begin at this depth).
+    pub queue_capacity: u32,
+    /// `(name, count)` counter rows, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge rows, name-ordered.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, count, p50, p90, p99)` histogram rows, name-ordered.
+    /// Quantiles are bucket-interpolated estimates
+    /// ([`divot_telemetry::HistogramSnapshot::quantile`]); an empty
+    /// histogram reports zeros.
+    pub histograms: Vec<(String, u64, f64, f64, f64)>,
+}
+
+impl FleetStats {
+    /// The `(count, p50, p90, p99)` row of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<(u64, f64, f64, f64)> {
+        self.histograms
+            .iter()
+            .find(|(n, ..)| n == name)
+            .map(|&(_, count, p50, p90, p99)| (count, p50, p90, p99))
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Retry policy for transient simulated-acquisition faults.
@@ -331,6 +425,10 @@ struct Job {
     request: Request,
     deadline: Instant,
     submitted: Instant,
+    /// The request's sampled trace context, decided at admission
+    /// (deterministically — see [`Request::trace_ctx`]); `None` for the
+    /// unsampled majority.
+    trace: Option<TraceCtx>,
     reply: Reply,
 }
 
@@ -382,6 +480,9 @@ impl ServiceInner {
         deadline: Instant,
         reply: Reply,
     ) -> Result<(), FleetError> {
+        // Sampling is decided outside the queue lock: a pure hash of
+        // the request, cheap and contention-free.
+        let trace = request.trace_ctx();
         {
             let mut q = self.queue.lock().expect("queue lock poisoned");
             if q.closed {
@@ -399,6 +500,7 @@ impl ServiceInner {
                 request,
                 deadline,
                 submitted: Instant::now(),
+                trace,
                 reply,
             });
             self.note_depth(q.jobs.len());
@@ -433,10 +535,12 @@ impl ServiceInner {
                     }));
                     continue;
                 }
+                let trace = request.trace_ctx();
                 q.jobs.push_back(Job {
                     request,
                     deadline,
                     submitted: Instant::now(),
+                    trace,
                     reply,
                 });
                 admitted += 1;
@@ -472,19 +576,29 @@ impl ServiceInner {
                 }
             };
             let Some(job) = job else { return };
-            divot_telemetry::observe(
+            let wait = job.submitted.elapsed();
+            if let Some(h) = divot_telemetry::histogram_with(
                 "fleet.queue.wait_ns",
-                job.submitted.elapsed().as_nanos() as f64,
-            );
+                divot_telemetry::Histogram::default_latency_ns,
+            ) {
+                h.observe(wait.as_nanos() as f64);
+            }
+            if let Some(ctx) = job.trace {
+                ctx.record(job.request.kind(), "queue_wait", wait);
+            }
             let outcome = if Instant::now() > job.deadline {
                 divot_telemetry::inc("fleet.deadline_misses");
                 Err(FleetError::DeadlineExceeded)
             } else {
-                self.handle(&job.request, &mut l1)
+                self.handle(&job.request, job.trace, &mut l1)
             };
-            let elapsed = job.submitted.elapsed().as_secs_f64();
+            let total = job.submitted.elapsed();
+            let elapsed = total.as_secs_f64();
             divot_telemetry::observe("fleet.request.latency", elapsed);
             divot_telemetry::observe(job.request.latency_metric(), elapsed);
+            if let Some(ctx) = job.trace {
+                ctx.record(job.request.kind(), "total", total);
+            }
             job.reply.deliver(outcome);
         }
     }
@@ -496,6 +610,8 @@ impl ServiceInner {
         &self,
         device: &str,
         nonce: u64,
+        trace: Option<TraceCtx>,
+        kind: &'static str,
     ) -> Result<divot_dsp::waveform::Waveform, FleetError> {
         let retry = self.config.retry;
         let attempts = retry.max_attempts.max(1);
@@ -512,7 +628,7 @@ impl ServiceInner {
             }
             return self
                 .sim
-                .acquire(device, nonce)
+                .acquire_traced(device, nonce, trace, kind)
                 .ok_or_else(|| FleetError::UnknownDevice(device.to_owned()));
         }
         divot_telemetry::emit(
@@ -572,13 +688,14 @@ impl ServiceInner {
                     divot_telemetry::inc("fleet.scan.detections");
                 }
             }
-            Response::Snapshot { .. } => {}
+            Response::Snapshot { .. } | Response::StatsSnapshot { .. } => {}
         }
     }
 
     fn handle(
         &self,
         request: &Request,
+        trace: Option<TraceCtx>,
         l1: &mut WorkerTier<Response>,
     ) -> Result<Response, FleetError> {
         // Memoized fast path. The generation in the key is read before
@@ -593,17 +710,21 @@ impl ServiceInner {
             Request::MonitorScan { device, nonce } => {
                 self.verdict_key(VerdictKind::Scan, device, *nonce)
             }
-            Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => {
-                None
-            }
+            Request::Enroll { .. }
+            | Request::EnrollBatch { .. }
+            | Request::RegistrySnapshot
+            | Request::Stats => None,
         };
         if let Some(k) = &key {
-            if let Some(response) = self.verdicts.lookup(l1, k) {
+            let span = trace.map(|c| c.span(request.kind(), "cache_lookup"));
+            let hit = self.verdicts.lookup(l1, k);
+            drop(span);
+            if let Some(response) = hit {
                 self.note_outcome(&response);
                 return Ok(response);
             }
         }
-        let outcome = self.compute(request);
+        let outcome = self.compute(request, trace);
         if let Ok(response) = &outcome {
             self.note_outcome(response);
             if let Some(k) = key {
@@ -614,7 +735,7 @@ impl ServiceInner {
     }
 
     /// Serve `request` from scratch (the cache-miss path).
-    fn compute(&self, request: &Request) -> Result<Response, FleetError> {
+    fn compute(&self, request: &Request, trace: Option<TraceCtx>) -> Result<Response, FleetError> {
         match request {
             Request::Enroll { device, nonce } => {
                 let pairing = self
@@ -701,11 +822,13 @@ impl ServiceInner {
                 })
             }
             Request::Verify { device, nonce } => {
-                let measured = self.acquire_with_retry(device, *nonce)?;
+                let measured = self.acquire_with_retry(device, *nonce, trace, "verify")?;
+                let span = trace.map(|c| c.span("verify", "store_lock"));
                 let decision = self
                     .store
                     .with_pairing(device, |p| self.authenticator.verify(&p.master, &measured))
                     .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
+                drop(span);
                 Ok(Response::Verdict {
                     device: device.clone(),
                     accepted: decision.is_accept(),
@@ -713,7 +836,7 @@ impl ServiceInner {
                 })
             }
             Request::MonitorScan { device, nonce } => {
-                let measured = self.acquire_with_retry(device, *nonce)?;
+                let measured = self.acquire_with_retry(device, *nonce, trace, "scan")?;
                 let threshold = self
                     .thresholds
                     .read()
@@ -725,10 +848,12 @@ impl ServiceInner {
                     threshold,
                     ..self.config.tamper
                 });
+                let span = trace.map(|c| c.span("scan", "store_lock"));
                 let report = self
                     .store
                     .with_pairing(device, |p| detector.scan(p.master.iip(), &measured))
                     .ok_or_else(|| FleetError::UnknownDevice(device.clone()))?;
+                drop(span);
                 Ok(Response::Scan {
                     device: device.clone(),
                     detected: report.detected,
@@ -744,7 +869,43 @@ impl ServiceInner {
                     .map(|(n, s)| (n, s as u32))
                     .collect(),
             }),
+            Request::Stats => Ok(Response::StatsSnapshot {
+                stats: self.stats(),
+            }),
         }
+    }
+
+    /// Build the operational-stats export: queue state from the service
+    /// itself, metric rows from the installed telemetry default (empty
+    /// rows when none is installed). Histogram quantiles are computed
+    /// here, against a detached snapshot — the export never holds any
+    /// hot-path lock while interpolating.
+    fn stats(&self) -> FleetStats {
+        let depth = self.queue.lock().expect("queue lock poisoned").jobs.len();
+        let mut stats = FleetStats {
+            queue_depth: depth as u32,
+            queue_capacity: self.config.queue_capacity as u32,
+            ..FleetStats::default()
+        };
+        if let Some(t) = divot_telemetry::global() {
+            for (name, snap) in t.registry().snapshot() {
+                match snap {
+                    MetricSnapshot::Counter(v) => stats.counters.push((name, v)),
+                    MetricSnapshot::Gauge(v) => stats.gauges.push((name, v)),
+                    MetricSnapshot::Histogram(h) => {
+                        let qs = h.quantiles(&[0.5, 0.9, 0.99]);
+                        stats.histograms.push((
+                            name,
+                            h.count(),
+                            qs[0].unwrap_or(0.0),
+                            qs[1].unwrap_or(0.0),
+                            qs[2].unwrap_or(0.0),
+                        ));
+                    }
+                }
+            }
+        }
+        stats
     }
 }
 
@@ -973,13 +1134,22 @@ impl FleetClient {
             Request::MonitorScan { device, nonce } => {
                 self.inner.verdict_key(VerdictKind::Scan, device, *nonce)?
             }
-            Request::Enroll { .. } | Request::EnrollBatch { .. } | Request::RegistrySnapshot => {
-                return None
-            }
+            Request::Enroll { .. }
+            | Request::EnrollBatch { .. }
+            | Request::RegistrySnapshot
+            | Request::Stats => return None,
         };
         let response = self.inner.verdicts.peek(&key)?;
         self.inner.note_outcome(&response);
         Some(response)
+    }
+
+    /// Build a [`FleetStats`] export directly, without a queue round
+    /// trip — the reactor transport serves [`Request::Stats`] through
+    /// this so a saturated worker pool can never delay an operator's
+    /// health probe.
+    pub fn stats(&self) -> FleetStats {
+        self.inner.stats()
     }
 
     /// Whether `device` exists in the simulated fleet (cheap O(1) map

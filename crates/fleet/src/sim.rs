@@ -393,13 +393,35 @@ impl SimulatedFleet {
     /// [`acquire_uncached`](Self::acquire_uncached) and the cache can
     /// never leak state between requests.
     pub fn acquire(&self, name: &str, nonce: u64) -> Option<Waveform> {
+        self.acquire_traced(name, nonce, None, "acquire")
+    }
+
+    /// [`acquire`](Self::acquire) with per-stage trace spans: the
+    /// device's warm-up (scattering-engine fabrication, paid only on the
+    /// first request ever served for the device — near-zero afterwards)
+    /// and the averaged ITDR sweep are timed separately under `kind`.
+    /// With `trace` `None` this *is* `acquire`: the stages run
+    /// identically and nothing is emitted.
+    pub fn acquire_traced(
+        &self,
+        name: &str,
+        nonce: u64,
+        trace: Option<divot_telemetry::TraceCtx>,
+        kind: &'static str,
+    ) -> Option<Waveform> {
         let (i, device) = self.device(name)?;
+        let span = trace.map(|c| c.span(kind, "fabrication"));
+        self.warm(i);
+        drop(span);
         let mut ch = self.channel(device, i, MASTER_DOMAIN, nonce);
-        Some(self.itdr.measure_averaged_with(
+        let span = trace.map(|c| c.span(kind, "sweep"));
+        let measured = self.itdr.measure_averaged_with(
             &mut ch,
             self.config.verify_average,
             ExecPolicy::Serial,
-        ))
+        );
+        drop(span);
+        Some(measured)
     }
 
     /// [`acquire`](Self::acquire) without any memoized state: the

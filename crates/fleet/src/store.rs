@@ -44,6 +44,10 @@ pub struct FleetStore {
     /// computed under, so a re-enrollment invalidates them without any
     /// cache walk (stale keys simply never match again).
     generations: Vec<AtomicU64>,
+    /// Per-shard lock-hold counter names, precomputed at construction —
+    /// the static-name convention: mutating paths record holds without a
+    /// per-call `format!` allocation.
+    hold_names: Vec<String>,
 }
 
 impl FleetStore {
@@ -59,6 +63,9 @@ impl FleetStore {
                 .map(|_| RwLock::new(FingerprintRegistry::new()))
                 .collect(),
             generations: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            hold_names: (0..shard_count)
+                .map(|s| format!("fleet.store.shard.{s:03}.lock_hold_ns"))
+                .collect(),
         }
     }
 
@@ -100,10 +107,15 @@ impl FleetStore {
     /// plus a store-wide histogram (`fleet.store.lock_hold_ns`). Only
     /// mutating paths are instrumented — the verify hot path's read locks
     /// stay allocation- and instrumentation-free.
-    fn note_write_hold(shard: usize, held: std::time::Duration) {
+    fn note_write_hold(&self, shard: usize, held: std::time::Duration) {
         let ns = held.as_nanos() as u64;
-        divot_telemetry::add(&format!("fleet.store.shard.{shard:03}.lock_hold_ns"), ns);
-        divot_telemetry::observe("fleet.store.lock_hold_ns", ns as f64);
+        divot_telemetry::add(&self.hold_names[shard], ns);
+        if let Some(h) = divot_telemetry::histogram_with(
+            "fleet.store.lock_hold_ns",
+            divot_telemetry::Histogram::default_latency_ns,
+        ) {
+            h.observe(ns as f64);
+        }
     }
 
     /// Store (or replace) the pairing for `device`, returning the
@@ -115,7 +127,7 @@ impl FleetStore {
         let t0 = Instant::now();
         let prev = guard.register(device, pairing);
         drop(guard);
-        Self::note_write_hold(shard, t0.elapsed());
+        self.note_write_hold(shard, t0.elapsed());
         self.generations[shard].fetch_add(1, Ordering::Release);
         prev
     }
@@ -147,7 +159,7 @@ impl FleetStore {
                 guard.register(&name, pairing);
             }
             drop(guard);
-            Self::note_write_hold(shard, t0.elapsed());
+            self.note_write_hold(shard, t0.elapsed());
             self.generations[shard].fetch_add(1, Ordering::Release);
         }
         shards_of
@@ -172,7 +184,7 @@ impl FleetStore {
         let t0 = Instant::now();
         let prev = guard.remove(device);
         drop(guard);
-        Self::note_write_hold(shard, t0.elapsed());
+        self.note_write_hold(shard, t0.elapsed());
         if prev.is_some() {
             self.generations[shard].fetch_add(1, Ordering::Release);
         }

@@ -30,7 +30,7 @@
 //! byte-equivalence reference.
 
 use crate::error::{FleetError, ShedReason};
-use crate::service::{FleetClient, Request, Response};
+use crate::service::{FleetClient, FleetStats, Request, Response};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,17 +54,20 @@ const TAG_VERIFY: u8 = 2;
 const TAG_SCAN: u8 = 3;
 const TAG_SNAPSHOT: u8 = 4;
 const TAG_ENROLL_BATCH: u8 = 5;
+const TAG_STATS: u8 = 6;
 
 const RESP_ENROLLED: u8 = 1;
 const RESP_VERDICT: u8 = 2;
 const RESP_SCAN: u8 = 3;
 const RESP_SNAPSHOT: u8 = 4;
 const RESP_ENROLLED_BATCH: u8 = 5;
+const RESP_STATS: u8 = 6;
 
 /// v2 request kinds (byte after the version byte).
 const REQ2_TAGGED: u8 = 1;
 const REQ2_SUBSCRIBE: u8 = 2;
 const REQ2_UNSUBSCRIBE: u8 = 3;
+const REQ2_STATS_SUBSCRIBE: u8 = 4;
 
 /// First byte of every enveloped (v2) server→client frame. Plain v1
 /// responses start with a status byte `0..=7`, so the envelope marker
@@ -77,6 +80,7 @@ const EV_REPLY: u8 = 1;
 const EV_SUB_ACK: u8 = 2;
 const EV_SCAN_FRAME: u8 = 3;
 const EV_SUB_END: u8 = 4;
+const EV_STATS_FRAME: u8 = 5;
 
 /// Write one length-prefixed frame.
 ///
@@ -264,6 +268,29 @@ pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
                         out.extend_from_slice(&shard.to_le_bytes());
                     }
                 }
+                Response::StatsSnapshot { stats } => {
+                    out.push(RESP_STATS);
+                    out.extend_from_slice(&stats.queue_depth.to_le_bytes());
+                    out.extend_from_slice(&stats.queue_capacity.to_le_bytes());
+                    out.extend_from_slice(&(stats.counters.len() as u32).to_le_bytes());
+                    for (name, v) in &stats.counters {
+                        put_str(&mut out, name);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    out.extend_from_slice(&(stats.gauges.len() as u32).to_le_bytes());
+                    for (name, v) in &stats.gauges {
+                        put_str(&mut out, name);
+                        out.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                    out.extend_from_slice(&(stats.histograms.len() as u32).to_le_bytes());
+                    for (name, count, p50, p90, p99) in &stats.histograms {
+                        put_str(&mut out, name);
+                        out.extend_from_slice(&count.to_le_bytes());
+                        out.extend_from_slice(&p50.to_bits().to_le_bytes());
+                        out.extend_from_slice(&p90.to_bits().to_le_bytes());
+                        out.extend_from_slice(&p99.to_bits().to_le_bytes());
+                    }
+                }
             }
         }
         Err(err) => {
@@ -354,6 +381,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
             }
             Response::EnrolledBatch { devices }
         }
+        RESP_STATS => {
+            let mut stats = FleetStats {
+                queue_depth: c.u32()?,
+                queue_capacity: c.u32()?,
+                ..FleetStats::default()
+            };
+            for _ in 0..c.u32()? {
+                let name = c.string()?;
+                stats.counters.push((name, c.u64()?));
+            }
+            for _ in 0..c.u32()? {
+                let name = c.string()?;
+                stats.gauges.push((name, c.f64()?));
+            }
+            for _ in 0..c.u32()? {
+                let name = c.string()?;
+                stats
+                    .histograms
+                    .push((name, c.u64()?, c.f64()?, c.f64()?, c.f64()?));
+            }
+            Response::StatsSnapshot { stats }
+        }
         other => {
             return Err(FleetError::Protocol(format!(
                 "unknown response tag {other}"
@@ -406,6 +455,19 @@ pub enum WireRequest {
         /// (`0` = unbounded, until unsubscribe or disconnect).
         max_frames: u32,
     },
+    /// Register a streaming stats subscription: the server pushes one
+    /// [`WireEvent::StatsFrame`] per interval — the operator-dashboard
+    /// feed. Cancelled by the same [`WireRequest::Unsubscribe`] as scan
+    /// subscriptions (ids share one namespace per connection).
+    StatsSubscribe {
+        /// Client-chosen subscription id (stats frames carry it back).
+        id: u64,
+        /// Push interval.
+        interval: Duration,
+        /// Frames to push before the server ends the subscription
+        /// (`0` = unbounded, until unsubscribe or disconnect).
+        max_frames: u32,
+    },
     /// Cancel a subscription by its id.
     Unsubscribe {
         /// Correlation id of this request (unused in the reply path —
@@ -438,6 +500,16 @@ pub fn encode_subscribe(
     out.extend_from_slice(&id.to_le_bytes());
     put_str(&mut out, device);
     out.extend_from_slice(&base_nonce.to_le_bytes());
+    let ms = interval.as_millis().min(u128::from(u32::MAX)) as u32;
+    out.extend_from_slice(&ms.to_le_bytes());
+    out.extend_from_slice(&max_frames.to_le_bytes());
+    out
+}
+
+/// Encode a v2 stats-subscribe request.
+pub fn encode_stats_subscribe(id: u64, interval: Duration, max_frames: u32) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION_PIPELINED, REQ2_STATS_SUBSCRIBE];
+    out.extend_from_slice(&id.to_le_bytes());
     let ms = interval.as_millis().min(u128::from(u32::MAX)) as u32;
     out.extend_from_slice(&ms.to_le_bytes());
     out.extend_from_slice(&max_frames.to_le_bytes());
@@ -479,6 +551,7 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
                 out.extend_from_slice(&nonce.to_le_bytes());
             }
         }
+        Request::Stats => out.push(TAG_STATS),
     }
 }
 
@@ -507,6 +580,7 @@ fn take_request_body(c: &mut Cursor<'_>) -> Result<Request, FleetError> {
             }
             Request::EnrollBatch { devices }
         }
+        TAG_STATS => Request::Stats,
         other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
     })
 }
@@ -549,6 +623,11 @@ pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, FleetError> {
                 REQ2_UNSUBSCRIBE => WireRequest::Unsubscribe {
                     id: c.u64()?,
                     target: c.u64()?,
+                },
+                REQ2_STATS_SUBSCRIBE => WireRequest::StatsSubscribe {
+                    id: c.u64()?,
+                    interval: Duration::from_millis(u64::from(c.u32()?)),
+                    max_frames: c.u32()?,
                 },
                 other => {
                     return Err(FleetError::Protocol(format!(
@@ -594,6 +673,16 @@ pub enum WireEvent {
         /// under the derived nonce returns).
         outcome: Box<Result<Response, FleetError>>,
     },
+    /// One pushed stats frame of a stats subscription.
+    StatsFrame {
+        /// The subscription id.
+        id: u64,
+        /// Frame sequence number (0-based).
+        seq: u64,
+        /// The stats outcome (bitwise what an explicit
+        /// [`Request::Stats`] at the push instant returns).
+        outcome: Box<Result<Response, FleetError>>,
+    },
     /// A subscription ended (frame budget exhausted, unsubscribe, or
     /// device error).
     SubEnd {
@@ -624,6 +713,15 @@ pub fn encode_sub_ack(id: u64, interval: Duration) -> Vec<u8> {
 /// Encode one pushed scan frame.
 pub fn encode_scan_frame(id: u64, seq: u64, outcome: &Result<Response, FleetError>) -> Vec<u8> {
     let mut out = vec![ENVELOPE, EV_SCAN_FRAME];
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&encode_response(outcome));
+    out
+}
+
+/// Encode one pushed stats frame.
+pub fn encode_stats_frame(id: u64, seq: u64, outcome: &Result<Response, FleetError>) -> Vec<u8> {
+    let mut out = vec![ENVELOPE, EV_STATS_FRAME];
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&encode_response(outcome));
@@ -672,6 +770,16 @@ pub fn decode_event(payload: &[u8]) -> Result<WireEvent, FleetError> {
             let seq = c.u64()?;
             let outcome = decode_outcome(&payload[c.pos..])?;
             Ok(WireEvent::ScanFrame {
+                id,
+                seq,
+                outcome: Box::new(outcome),
+            })
+        }
+        EV_STATS_FRAME => {
+            let id = c.u64()?;
+            let seq = c.u64()?;
+            let outcome = decode_outcome(&payload[c.pos..])?;
+            Ok(WireEvent::StatsFrame {
                 id,
                 seq,
                 outcome: Box::new(outcome),
@@ -910,12 +1018,14 @@ fn serve_connection(mut stream: TcpStream, client: &FleetClient) {
                 request,
                 deadline,
             }) => encode_tagged_response(id, &call(request, deadline)),
-            Ok(WireRequest::Subscribe { id, .. }) => encode_tagged_response(
-                id,
-                &Err(FleetError::Protocol(
-                    "subscriptions require the reactor transport".into(),
-                )),
-            ),
+            Ok(WireRequest::Subscribe { id, .. } | WireRequest::StatsSubscribe { id, .. }) => {
+                encode_tagged_response(
+                    id,
+                    &Err(FleetError::Protocol(
+                        "subscriptions require the reactor transport".into(),
+                    )),
+                )
+            }
             Ok(WireRequest::Unsubscribe { id, .. }) => encode_tagged_response(
                 id,
                 &Err(FleetError::Protocol(
@@ -1027,6 +1137,53 @@ impl PipelinedFleetClient {
             &encode_subscribe(id, device, base_nonce, interval, max_frames),
         )?;
         Ok(id)
+    }
+
+    /// Register a streaming stats subscription; returns its id. The
+    /// server answers with [`WireEvent::SubAck`], then pushes
+    /// [`WireEvent::StatsFrame`]s (reactor transport only).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`].
+    pub fn subscribe_stats(
+        &mut self,
+        interval: Duration,
+        max_frames: u32,
+    ) -> Result<u64, FleetError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &encode_stats_subscribe(id, interval, max_frames),
+        )?;
+        Ok(id)
+    }
+
+    /// One blocking stats round trip: send [`Request::Stats`], drain
+    /// events until its reply arrives, and return the snapshot. Events
+    /// of other in-flight work are *discarded* — use on a connection
+    /// dedicated to polling (the `fleet_top` pattern), not mid-pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`FleetError::Io`]; a non-stats
+    /// reply body as [`FleetError::Protocol`].
+    pub fn request_stats(&mut self, deadline: Option<Duration>) -> Result<FleetStats, FleetError> {
+        let id = self.send(&Request::Stats, deadline)?;
+        loop {
+            if let WireEvent::Reply { id: got, outcome } = self.recv_event()? {
+                if got != id {
+                    continue;
+                }
+                return match *outcome {
+                    Ok(Response::StatsSnapshot { stats }) => Ok(stats),
+                    Ok(other) => Err(FleetError::Protocol(format!(
+                        "stats request answered with {other:?}"
+                    ))),
+                    Err(e) => Err(e),
+                };
+            }
+        }
     }
 
     /// Cancel subscription `target`; the server answers with its

@@ -8,10 +8,10 @@ use std::time::Duration;
 
 use divot_fleet::wire::{
     decode_event, decode_wire_request, encode_request, encode_request_tagged, encode_scan_frame,
-    encode_sub_ack, encode_sub_end, encode_subscribe, encode_tagged_response, encode_unsubscribe,
-    FrameBuffer, MAX_FRAME,
+    encode_stats_frame, encode_stats_subscribe, encode_sub_ack, encode_sub_end, encode_subscribe,
+    encode_tagged_response, encode_unsubscribe, FrameBuffer, MAX_FRAME,
 };
-use divot_fleet::{FleetError, Request, Response, WireEvent, WireRequest};
+use divot_fleet::{FleetError, FleetStats, Request, Response, WireEvent, WireRequest};
 use proptest::prelude::*;
 
 /// Length-prefix a payload the way `write_frame` does.
@@ -119,13 +119,18 @@ proptest! {
         deadline_ms in 0u32..100_000,
         interval_ms in 1u32..60_000,
         max_frames in any::<u32>(),
-        kind in 0usize..4,
+        kind in 0usize..6,
     ) {
         let device = format!("bus-{device_seed:016x}");
         // 0 doubles as "no explicit deadline".
         let deadline =
             (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
-        let request = Request::Verify { device: device.clone(), nonce };
+        // Kinds 4/5 exercise the stats tags; the rest carry a Verify.
+        let request = if kind == 4 {
+            Request::Stats
+        } else {
+            Request::Verify { device: device.clone(), nonce }
+        };
         let (wire, expect) = match kind {
             0 => (
                 encode_request(&request, deadline),
@@ -151,9 +156,25 @@ proptest! {
                     max_frames,
                 },
             ),
-            _ => (
+            3 => (
                 encode_unsubscribe(id, nonce),
                 WireRequest::Unsubscribe { id, target: nonce },
+            ),
+            4 => (
+                encode_request_tagged(id, &request, deadline),
+                WireRequest::Tagged { id, request: request.clone(), deadline },
+            ),
+            _ => (
+                encode_stats_subscribe(
+                    id,
+                    Duration::from_millis(u64::from(interval_ms)),
+                    max_frames,
+                ),
+                WireRequest::StatsSubscribe {
+                    id,
+                    interval: Duration::from_millis(u64::from(interval_ms)),
+                    max_frames,
+                },
             ),
         };
         prop_assert_eq!(decode_wire_request(&wire).expect("decodes"), expect);
@@ -169,7 +190,11 @@ proptest! {
         similarity in any::<f64>(),
         accepted in any::<bool>(),
         interval_ms in 1u32..60_000,
-        kind in 0usize..4,
+        kind in 0usize..5,
+        depth in any::<u32>(),
+        counter in any::<u64>(),
+        gauge_bits in any::<u64>(),
+        q_bits in proptest::collection::vec(any::<u64>(), 3),
     ) {
         let outcome: Result<Response, FleetError> = Ok(Response::Verdict {
             device: format!("bus-{device_seed:016x}"),
@@ -192,10 +217,59 @@ proptest! {
                 encode_scan_frame(id, seq, &outcome),
                 WireEvent::ScanFrame { id, seq, outcome: Box::new(outcome.clone()) },
             ),
-            _ => (
+            3 => (
                 encode_sub_end(id, seq),
                 WireEvent::SubEnd { id, frames: seq },
             ),
+            _ => {
+                // Arbitrary f64 bit patterns (NaNs included) must
+                // survive the stats codec; compared via PartialEq
+                // below only when non-NaN, so pin the bits here too.
+                let stats: Result<Response, FleetError> = Ok(Response::StatsSnapshot {
+                    stats: FleetStats {
+                        queue_depth: depth,
+                        queue_capacity: depth.wrapping_add(1),
+                        counters: vec![("fleet.test.counter".into(), counter)],
+                        gauges: vec![("fleet.test.gauge".into(), f64::from_bits(gauge_bits))],
+                        histograms: vec![(
+                            "fleet.test.hist".into(),
+                            counter,
+                            f64::from_bits(q_bits[0]),
+                            f64::from_bits(q_bits[1]),
+                            f64::from_bits(q_bits[2]),
+                        )],
+                    },
+                });
+                let wire = encode_stats_frame(id, seq, &stats);
+                let got = decode_event(&wire).expect("decodes");
+                let WireEvent::StatsFrame { id: gid, seq: gseq, outcome: gout } = got else {
+                    panic!("expected StatsFrame, got {got:?}");
+                };
+                prop_assert_eq!(gid, id);
+                prop_assert_eq!(gseq, seq);
+                let (Ok(Response::StatsSnapshot { stats: sent }),
+                     Ok(Response::StatsSnapshot { stats: got })) = (&stats, gout.as_ref())
+                else {
+                    panic!("expected StatsSnapshot outcome");
+                };
+                prop_assert_eq!(got.queue_depth, sent.queue_depth);
+                prop_assert_eq!(got.queue_capacity, sent.queue_capacity);
+                prop_assert_eq!(&got.counters, &sent.counters);
+                prop_assert_eq!(got.gauges.len(), sent.gauges.len());
+                prop_assert_eq!(
+                    got.gauges[0].1.to_bits(),
+                    sent.gauges[0].1.to_bits()
+                );
+                prop_assert_eq!(got.histograms.len(), sent.histograms.len());
+                let (ref gn, gc, g50, g90, g99) = got.histograms[0];
+                let (ref sn, sc, s50, s90, s99) = sent.histograms[0];
+                prop_assert_eq!(gn, sn);
+                prop_assert_eq!(gc, sc);
+                prop_assert_eq!(g50.to_bits(), s50.to_bits());
+                prop_assert_eq!(g90.to_bits(), s90.to_bits());
+                prop_assert_eq!(g99.to_bits(), s99.to_bits());
+                return Ok(());
+            }
         };
         let got = decode_event(&wire).expect("decodes");
         match (&got, &expect) {

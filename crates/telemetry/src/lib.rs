@@ -14,6 +14,10 @@
 //! - **Events** ([`EventSink`], [`Value`]): discrete JSONL records for
 //!   auth decisions, tamper detections, analytic fallbacks, cache
 //!   evictions.
+//! - **Traces** ([`TraceCtx`], [`Tracer`]): deterministically sampled
+//!   per-request stage spans (queue wait, fabrication, sweep, cache
+//!   lookup, store lock) on a dedicated JSONL sink, installed via
+//!   [`install_tracer`].
 //!
 //! # Determinism contract
 //!
@@ -49,11 +53,13 @@ mod event;
 mod metrics;
 mod registry;
 mod span;
+mod trace;
 
 pub use event::{EventSink, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::Registry;
+pub use registry::{MetricSnapshot, Registry};
 pub use span::SpanTimer;
+pub use trace::{flush_tracer, install_tracer, tracer, TraceCtx, TraceSpan, Tracer};
 
 use std::sync::{Arc, OnceLock};
 

@@ -137,6 +137,14 @@ impl Histogram {
         Self::exponential(1e-6, 2.0, 26)
     }
 
+    /// The span-latency layout for *nanosecond-valued* observations
+    /// (`*_ns` metrics): 26 exponential buckets from 100 ns to ~3.4 s.
+    /// Seconds-scale bounds would push every nanosecond count into the
+    /// overflow bucket and flatten all quantiles onto the last bound.
+    pub fn default_latency_ns() -> Self {
+        Self::exponential(100.0, 2.0, 26)
+    }
+
     /// A layout for scores in `[0, 1]`: 20 linear buckets of width 0.05.
     pub fn unit_interval() -> Self {
         Self::linear(0.05, 0.05, 20)
@@ -274,6 +282,35 @@ impl HistogramSnapshot {
         }
         unreachable!("target rank is <= total count")
     }
+
+    /// Several quantiles at once (each `None`-free only when nonempty);
+    /// the shape a stats exporter wants: `quantiles(&[0.5, 0.9, 0.99])`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Fold another snapshot's observations into this one — the
+    /// detached-copy analogue of [`Histogram::merge_from`], for
+    /// aggregating exported snapshots (e.g. per-server stats frames)
+    /// away from any live registry.
+    ///
+    /// Bucket counts add exactly, so merging snapshots is associative
+    /// and commutative on counts — and therefore on every quantile,
+    /// which reads only bounds and counts. Sums add in floating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots carry different bucket bounds.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram bucket bounds must match to merge"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +357,68 @@ mod tests {
         assert_eq!(h.quantile(0.0), h.quantile(0.001));
         let empty = Histogram::new(&[1.0]);
         assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_target_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // 4 observations in (1, 2]: ranks 1..=4 all land there.
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        // p25 targets rank 1 of 4 in a bucket holding all 4: 1/4 of the
+        // way from 1.0 to 2.0.
+        assert!((h.quantile(0.25).unwrap() - 1.25).abs() < 1e-12);
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-12);
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edges_first_and_overflow_buckets() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.1); // first bucket: reported as its bound
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(50.0); // overflow: reported as the last finite bound
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        // q outside [0, 1] clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_batch_matches_singles() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0, 9.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let qs = snap.quantiles(&[0.5, 0.9, 0.99]);
+        assert_eq!(
+            qs,
+            vec![snap.quantile(0.5), snap.quantile(0.9), snap.quantile(0.99)]
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_matches_live_merge() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        a.merge_from(&b);
+        assert_eq!(merged, a.snapshot());
+        assert_eq!(merged.quantile(0.5), a.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match to merge")]
+    fn snapshot_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]).snapshot();
+        a.merge_from(&Histogram::new(&[2.0]).snapshot());
     }
 
     #[test]

@@ -5,7 +5,21 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, Gauge, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A point-in-time copy of one registered metric's state — what
+/// [`Registry::snapshot`] hands to programmatic exporters (the fleet's
+/// wire-stats path) instead of the rendered text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's last recorded value.
+    Gauge(f64),
+    /// A histogram's bucket state (quantiles via
+    /// [`HistogramSnapshot::quantile`]).
+    Histogram(HistogramSnapshot),
+}
 
 #[derive(Debug, Clone)]
 enum Metric {
@@ -120,6 +134,25 @@ impl Registry {
         self.len() == 0
     }
 
+    /// A point-in-time copy of every registered metric, in lexicographic
+    /// name order (the same stable order as
+    /// [`render_text`](Self::render_text)). This is the programmatic
+    /// export path: serializers read values and histogram buckets
+    /// directly instead of re-parsing rendered text.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let map = self.metrics.lock().expect("registry lock");
+        map.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
     /// Render every metric in Prometheus-style text exposition,
     /// lexicographically ordered by name (stable across runs):
     ///
@@ -203,6 +236,29 @@ mod tests {
         let h1 = r.histogram_with("h", || Histogram::new(&[1.0]));
         let h2 = r.histogram_with("h", || Histogram::new(&[2.0, 3.0]));
         assert_eq!(h1.bounds(), h2.bounds());
+    }
+
+    #[test]
+    fn snapshot_exports_values_in_name_order() {
+        let r = Registry::new();
+        r.counter("z.count").add(7);
+        r.gauge("a.gauge").set(1.5);
+        r.histogram_with("m.hist", || Histogram::new(&[1.0, 2.0]))
+            .observe(1.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.gauge", "m.hist", "z.count"]);
+        assert_eq!(snap[0].1, MetricSnapshot::Gauge(1.5));
+        assert_eq!(snap[2].1, MetricSnapshot::Counter(7));
+        match &snap[1].1 {
+            MetricSnapshot::Histogram(h) => {
+                assert_eq!(h.count(), 1);
+                // Sole observation fills bucket (1, 2]; its rank sits at
+                // the bucket's upper edge.
+                assert_eq!(h.quantile(0.5), Some(2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

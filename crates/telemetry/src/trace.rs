@@ -1,0 +1,260 @@
+//! Deterministically-sampled request tracing: per-stage span records on
+//! the JSONL sink.
+//!
+//! A [`TraceCtx`] follows one request through the service (reactor frame
+//! decode → admission queue → worker → acquisition → cache → store),
+//! emitting one `trace.span` JSONL record per stage with the stage's
+//! wall-clock duration. Three properties keep tracing out of the
+//! determinism path:
+//!
+//! - **Sampling is a pure function of the request.** The trace id is a
+//!   bit-mix hash of a caller-supplied seed (the request nonce in the
+//!   fleet), and a request is sampled iff `id % sample == 0` — no RNG,
+//!   no shared counter, no clock. The *same* requests are sampled on
+//!   every run, on every worker layout.
+//! - **Tracing is observe-only.** Span records carry durations out; no
+//!   pipeline code ever reads them back. Verdicts are bitwise identical
+//!   with tracing on or off (`crates/fleet/tests/trace_identity.rs`).
+//! - **The unsampled path is nearly free.** With a tracer installed,
+//!   a non-sampled request pays one `OnceLock` load plus one hash; with
+//!   none installed, one `OnceLock` load. Stage timers exist only for
+//!   sampled requests.
+//!
+//! Span durations are wall-clock and therefore *not* reproducible
+//! run-to-run — unlike metric events, trace records are a measurement of
+//! this process, not of the simulated physics. The records still carry
+//! the sink's monotone `seq` and no absolute timestamps.
+//!
+//! Install once, `log`-crate style, mirroring [`crate::install`]:
+//!
+//! ```no_run
+//! use divot_telemetry::{EventSink, Tracer};
+//!
+//! let tracer = Tracer::to_file("trace.jsonl", 16).unwrap(); // 1-in-16
+//! divot_telemetry::install_tracer(tracer).ok();
+//! if let Some(ctx) = divot_telemetry::TraceCtx::sample(0xC0FFEE) {
+//!     let span = ctx.span("verify", "sweep");
+//!     // ... timed work ...
+//!     drop(span); // emits {"event":"trace.span","stage":"sweep",...}
+//! }
+//! ```
+
+use crate::event::{EventSink, Value};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The process-wide trace sink plus its sampling interval.
+///
+/// Deliberately separate from the metrics [`crate::Telemetry`] default:
+/// benches routinely run `--telemetry` (deterministic metric events)
+/// and `--trace` (wall-clock span records) into *different* files, and
+/// the two streams must not interleave their `seq` spaces.
+#[derive(Debug)]
+pub struct Tracer {
+    sink: EventSink,
+    /// Sample 1-in-`sample` requests (1 = every request).
+    sample: u64,
+}
+
+impl Tracer {
+    /// A tracer writing span records to `sink`, sampling 1-in-`sample`
+    /// requests (`sample` is clamped to at least 1).
+    pub fn with_sink(sink: EventSink, sample: u64) -> Self {
+        Self {
+            sink,
+            sample: sample.max(1),
+        }
+    }
+
+    /// A tracer appending JSONL span records to the file at `path`
+    /// (created or truncated), sampling 1-in-`sample`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn to_file(path: impl AsRef<std::path::Path>, sample: u64) -> std::io::Result<Self> {
+        Ok(Self::with_sink(EventSink::to_file(path)?, sample))
+    }
+
+    /// The sampling interval (a request is traced iff its trace id is
+    /// divisible by this).
+    pub fn sample_interval(&self) -> u64 {
+        self.sample
+    }
+
+    /// Span records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.sink.emitted()
+    }
+
+    /// Flush the underlying sink, surfacing the first write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error any emission hit.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// Install `tracer` as the process-wide trace default. First call wins.
+///
+/// # Errors
+///
+/// Returns `tracer` back if a default is already installed.
+pub fn install_tracer(tracer: Tracer) -> Result<&'static Tracer, Tracer> {
+    TRACER.set(tracer)?;
+    Ok(TRACER.get().expect("just installed"))
+}
+
+/// The installed trace default, if any.
+pub fn tracer() -> Option<&'static Tracer> {
+    TRACER.get()
+}
+
+/// Flush the installed trace default (no-op when none is installed).
+///
+/// # Errors
+///
+/// Returns the first I/O error any span emission hit.
+pub fn flush_tracer() -> std::io::Result<()> {
+    match tracer() {
+        Some(t) => t.flush(),
+        None => Ok(()),
+    }
+}
+
+/// Bit-mix finalizer (splitmix64's): a trace id is a well-scrambled
+/// pure function of the request seed, so `id % sample` picks an
+/// unbiased, deterministic 1-in-`sample` subset even from sequential
+/// nonces.
+fn trace_id(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The tracing identity of one sampled request. `Copy`, 8 bytes: it
+/// rides queue jobs and crosses threads for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    id: u64,
+}
+
+impl TraceCtx {
+    /// The deterministic sampling decision: `Some` iff a tracer is
+    /// installed and the seed's trace id lands in the 1-in-N sample.
+    /// Same seed, same answer — on every run and every thread.
+    pub fn sample(seed: u64) -> Option<Self> {
+        let t = tracer()?;
+        let id = trace_id(seed);
+        id.is_multiple_of(t.sample).then_some(Self { id })
+    }
+
+    /// The trace id (shared by every span of one request).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Emit one span record with an externally measured duration (for
+    /// stages whose start predates the context, e.g. queue wait
+    /// measured from the job's submit instant).
+    pub fn record(&self, kind: &'static str, stage: &'static str, elapsed: Duration) {
+        if let Some(t) = tracer() {
+            t.sink.emit(
+                "trace.span",
+                &[
+                    ("trace", Value::U64(self.id)),
+                    ("kind", Value::Str(kind.to_owned())),
+                    ("stage", Value::Str(stage.to_owned())),
+                    ("ns", Value::U64(elapsed.as_nanos() as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Start an RAII stage timer: the span record is emitted on drop
+    /// with the elapsed wall-clock duration.
+    pub fn span(&self, kind: &'static str, stage: &'static str) -> TraceSpan {
+        TraceSpan {
+            ctx: *self,
+            kind,
+            stage,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// An in-progress stage of a sampled request; emits its `trace.span`
+/// record when dropped.
+#[derive(Debug)]
+pub struct TraceSpan {
+    ctx: TraceCtx,
+    kind: &'static str,
+    stage: &'static str,
+    start: Instant,
+}
+
+impl TraceSpan {
+    /// The context this span belongs to.
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.ctx.record(self.kind, self.stage, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_deterministic_and_scrambled() {
+        assert_eq!(trace_id(42), trace_id(42));
+        assert_ne!(trace_id(42), trace_id(43));
+        // Sequential seeds must not collapse onto one residue class.
+        let sampled = (0..1600u64)
+            .filter(|&s| trace_id(s).is_multiple_of(16))
+            .count();
+        assert!(
+            (50..150).contains(&sampled),
+            "≈100 of 1600 expected at 1-in-16, got {sampled}"
+        );
+    }
+
+    #[test]
+    fn sample_is_none_until_a_tracer_is_installed() {
+        // The tracer OnceLock is process-global; this unit-test binary
+        // never installs one, so every sample decision is None and the
+        // record path is a no-op.
+        assert!(tracer().is_none());
+        assert!(TraceCtx::sample(7).is_none());
+    }
+
+    #[test]
+    fn tracer_emits_one_record_per_span() {
+        // Exercise an owned Tracer directly (the global slot stays
+        // empty for the test above).
+        let t = Tracer::with_sink(EventSink::to_writer(Box::new(Vec::<u8>::new())), 0);
+        assert_eq!(t.sample_interval(), 1, "sample clamps to >= 1");
+        let ctx = TraceCtx { id: trace_id(9) };
+        t.sink.emit(
+            "trace.span",
+            &[
+                ("trace", Value::U64(ctx.id())),
+                ("kind", Value::Str("verify".into())),
+                ("stage", Value::Str("sweep".into())),
+                ("ns", Value::U64(123)),
+            ],
+        );
+        assert_eq!(t.emitted(), 1);
+        t.flush().unwrap();
+    }
+}

@@ -158,4 +158,52 @@ proptest! {
         prop_assert!((sl.sum - sr.sum).abs() <= 1e-9 * span);
         prop_assert!((sl.sum - sc.sum).abs() <= 1e-9 * span);
     }
+
+    /// Detached-snapshot merge (the wire-stats aggregation path) is
+    /// associative on counts *and therefore on every quantile exactly*:
+    /// quantile reads only bounds + integer counts, so any merge order
+    /// of per-server snapshots reports identical p50/p90/p99.
+    #[test]
+    fn snapshot_merge_is_associative_on_quantiles(
+        widths in proptest::collection::vec(0.01f64..10.0, 1..8),
+        va in proptest::collection::vec(-5.0f64..120.0, 1..60),
+        vb in proptest::collection::vec(-5.0f64..120.0, 0..60),
+        vc in proptest::collection::vec(-5.0f64..120.0, 0..60),
+    ) {
+        let bounds = bounds_from_widths(&widths);
+        let (a, b, c) = (
+            filled(&bounds, &va).snapshot(),
+            filled(&bounds, &vb).snapshot(),
+            filled(&bounds, &vc).snapshot(),
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+
+        // c ⊕ (b ⊕ a): commuted
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        let mut comm = c.clone();
+        comm.merge_from(&ba);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(&left.counts, &comm.counts);
+        // Bitwise quantile equality — counts drive the estimator.
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        prop_assert_eq!(left.quantiles(&qs), right.quantiles(&qs));
+        prop_assert_eq!(left.quantiles(&qs), comm.quantiles(&qs));
+        // Merged totals partition exactly.
+        prop_assert_eq!(
+            left.count(),
+            (va.len() + vb.len() + vc.len()) as u64
+        );
+    }
 }

@@ -72,6 +72,15 @@ bench-cohort:
 bench-wire:
     DIVOT_FLEET_PHASES=wire cargo run --release -p divot-bench --bin fleet_load
 
+# Live fleet health monitor against a self-hosted demo fleet: starts a
+# small fleet with a background load generator, subscribes to the stats
+# stream over the wire, and renders 20 dashboard frames (rate, per-kind
+# latency quantiles, cache tiers, shed reasons, queue/lock health).
+# Point it at a real server instead with FLEET_TOP_ADDR=host:port
+# (unbounded; FLEET_TOP_FRAMES/FLEET_TOP_INTERVAL_MS to tune).
+fleet-top-demo:
+    cargo run --release -p divot-bench --bin fleet_top
+
 # Regenerate every paper figure/claim output into results/.
 figures:
     for b in fig7_authentication fig8_temperature fig9_load_modification \
