@@ -74,6 +74,15 @@ impl DemoFleet {
                 })
                 .expect("demo enroll");
         }
+        // A population model over the whole demo fleet, so intake
+        // scans in the load mix keep the cohort counters moving.
+        client
+            .call(Request::CohortEnroll {
+                devices: (0..DEMO_BUSES)
+                    .map(|i| (SimulatedFleet::device_name(i), 2))
+                    .collect(),
+            })
+            .expect("demo cohort enroll");
         let server = FleetTcpServer::spawn(svc.client(), "127.0.0.1:0").expect("bind demo server");
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
@@ -87,7 +96,15 @@ impl DemoFleet {
                 while !flag.load(Ordering::Relaxed) {
                     let device = SimulatedFleet::device_name((k % DEMO_BUSES as u64) as usize);
                     let nonce = 100 + (k / 4) % 64;
-                    let request = if k % 16 == 5 {
+                    let request = if k % 64 == 21 {
+                        // An intake batch: four boards through the
+                        // golden-free population path.
+                        Request::IntakeScan {
+                            devices: (0..4)
+                                .map(|i| (SimulatedFleet::device_name(i), 3000 + k))
+                                .collect(),
+                        }
+                    } else if k % 16 == 5 {
                         Request::MonitorScan { device, nonce }
                     } else {
                         Request::Verify { device, nonce }
@@ -200,6 +217,15 @@ fn render(stats: &FleetStats, prev: Option<&FleetStats>, interval: Duration, cle
         c("fleet.verify.accepts"),
         c("fleet.verify.rejects"),
         c("fleet.retries"),
+    ));
+    out.push_str(&format!(
+        "cohort          scans {}  models {}  genuine {}  counterfeit {}  tampered {}  inconcl {}\n",
+        c("fleet.cohort.scans"),
+        c("fleet.cohort.model.rebuilds"),
+        c("fleet.cohort.verdict.genuine"),
+        c("fleet.cohort.verdict.counterfeit"),
+        c("fleet.cohort.verdict.tampered"),
+        c("fleet.cohort.verdict.inconclusive"),
     ));
     out.push_str(&format!(
         "sheds           queue_full {}  fair_share {}  deadline {}\n",

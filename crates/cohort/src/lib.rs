@@ -1,0 +1,70 @@
+//! Golden-free population attestation for supply-chain intake scans.
+//!
+//! The DIVOT enrollment flow assumes every bus was fingerprinted at a
+//! trusted calibration step — but real supply-chain intake receives
+//! pallets of boards nobody ever enrolled. This crate attests such
+//! boards with **no per-device reference**, the way Parasitic Circus
+//! attests PCBs and scattering-parameter counterfeit screens attest
+//! chips: boards sharing one design form a *population*, and the
+//! population itself is the reference.
+//!
+//! The pipeline has three deterministic stages:
+//!
+//! 1. **Cluster** ([`cluster`]) — pairwise mean-removed cosine
+//!    similarities over the intake cohort feed a single-linkage
+//!    agglomerative clustering; the largest cluster is taken as the
+//!    genuine population and outlier clusters (counterfeit lots, gross
+//!    defects) are excluded from model fitting.
+//! 2. **Learn** ([`model`]) — per-segment robust location/scale
+//!    (median and MAD-derived σ, floored so dead segments cannot
+//!    explode a z-score) plus a trimmed-mean centroid over the genuine
+//!    cluster.
+//! 3. **Score** ([`verdict`]) — an unknown board is reduced to
+//!    per-segment robust z-scores and a similarity-to-centroid, then
+//!    classified into a typed verdict: [`Verdict::Genuine`],
+//!    [`Verdict::Counterfeit`] (broad deviation — wrong process, wrong
+//!    lot), [`Verdict::Tampered`] (localized deviation — scar, probe,
+//!    swapped termination), or [`Verdict::Inconclusive`].
+//!
+//! Every stage is a pure, fixed-order function of its inputs: learning
+//! the model twice from the same fingerprints is bitwise identical, and
+//! scoring is per-board independent, so a fleet service can fan intake
+//! scans across any number of workers and still produce
+//! bitwise-identical verdicts.
+//!
+//! # Example
+//!
+//! ```
+//! use divot_cohort::{CohortConfig, PopulationModel, Verdict};
+//!
+//! // A cohort of 24 boards: shared design shape + per-board variation.
+//! let boards: Vec<Vec<f64>> = (0..24)
+//!     .map(|b| {
+//!         (0..64)
+//!             .map(|s| {
+//!                 let shared = (s as f64 * 0.3).sin();
+//!                 let ripple = ((b * 64 + s) as f64 * 0.7).sin() * 0.05;
+//!                 shared + ripple
+//!             })
+//!             .collect()
+//!     })
+//!     .collect();
+//! let views: Vec<&[f64]> = boards.iter().map(|b| b.as_slice()).collect();
+//! let model = PopulationModel::learn(&views, CohortConfig::default()).unwrap();
+//!
+//! // A board from the same population attests genuine.
+//! let (verdict, score) = model.attest(&boards[0]);
+//! assert_eq!(verdict, Verdict::Genuine);
+//! assert!(score.similarity > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod model;
+pub mod verdict;
+
+pub use cluster::{cluster_by_similarity, PairwiseSimilarity};
+pub use model::{Calibration, CohortConfig, CohortError, PopulationModel};
+pub use verdict::{IntakeScore, Verdict};

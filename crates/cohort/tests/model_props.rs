@@ -1,0 +1,104 @@
+//! Property tests for population-model learning and scoring.
+
+use divot_cohort::{CohortConfig, PopulationModel, Verdict};
+use proptest::prelude::*;
+
+/// Decorrelated deterministic noise in `[-1, 1)` (shader-style hash).
+fn noise(b: u64, s: usize) -> f64 {
+    let x = (b as f64 * 257.0 + s as f64 + 1.0) * 12.9898;
+    2.0 * (x.sin() * 43758.5453).fract().abs() - 1.0
+}
+
+/// A synthetic cohort: a shared shape plus bounded per-board ripple.
+fn cohort_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (8usize..24, 24usize..64, 0.01f64..0.06).prop_map(|(n, segments, ripple)| {
+        (0..n as u64)
+            .map(|b| {
+                (0..segments)
+                    .map(|s| {
+                        let shared = (s as f64 * 0.37).sin() + 0.3 * (s as f64 * 0.09).cos();
+                        shared + noise(b, s) * ripple
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Learning twice from the same cohort is bitwise identical, and
+    /// scoring a cohort member twice is too.
+    #[test]
+    fn learn_and_score_are_bitwise_deterministic(boards in cohort_strategy()) {
+        let views: Vec<&[f64]> = boards.iter().map(|b| b.as_slice()).collect();
+        let a = PopulationModel::learn(&views, CohortConfig::default()).unwrap();
+        let b = PopulationModel::learn(&views, CohortConfig::default()).unwrap();
+        prop_assert_eq!(&a, &b);
+        let sa = a.score(&boards[0]);
+        let sb = b.score(&boards[0]);
+        prop_assert_eq!(sa.score.to_bits(), sb.score.to_bits());
+        prop_assert_eq!(sa.similarity.to_bits(), sb.similarity.to_bits());
+        prop_assert_eq!(sa.max_z.to_bits(), sb.max_z.to_bits());
+    }
+
+    /// Cohort members never classify as counterfeit or tampered against
+    /// their own population (small cohorts may land a member in the
+    /// inconclusive band — noisy small-sample MAD — but most attest
+    /// genuine), and the evidence fields stay internally consistent.
+    #[test]
+    fn members_attest_genuine_with_consistent_evidence(boards in cohort_strategy()) {
+        let views: Vec<&[f64]> = boards.iter().map(|b| b.as_slice()).collect();
+        let model = PopulationModel::learn(&views, CohortConfig::default()).unwrap();
+        prop_assert_eq!(model.members().len() + model.excluded().len(), boards.len());
+        let mut genuine = 0usize;
+        for board in &boards {
+            let (verdict, score) = model.attest(board);
+            prop_assert!(
+                verdict == Verdict::Genuine || verdict == Verdict::Inconclusive,
+                "member classified {verdict}: {score:?}"
+            );
+            genuine += usize::from(verdict == Verdict::Genuine);
+            prop_assert!(score.max_z >= score.mean_z);
+            prop_assert!(score.z[score.worst_segment].to_bits() == score.max_z.to_bits());
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&score.similarity));
+            prop_assert_eq!(
+                score.deviant_segments,
+                score.deviants(model.config().deviant_z).len()
+            );
+        }
+        prop_assert!(genuine * 2 >= boards.len(), "only {genuine}/{} genuine", boards.len());
+    }
+
+    /// An injected foreign lot is excluded from the model, and model
+    /// statistics match the model learned from the clean majority alone.
+    #[test]
+    fn foreign_lot_is_excluded_and_does_not_poison(
+        boards in cohort_strategy(),
+        lot in 2usize..5,
+    ) {
+        let segments = boards[0].len();
+        let mut mixed = boards.clone();
+        for b in 0..lot as u64 {
+            mixed.push(
+                (0..segments)
+                    .map(|s| (s as f64 * 0.9 + b as f64 * 0.2).cos() * 1.4)
+                    .collect(),
+            );
+        }
+        let clean_views: Vec<&[f64]> = boards.iter().map(|b| b.as_slice()).collect();
+        let mixed_views: Vec<&[f64]> = mixed.iter().map(|b| b.as_slice()).collect();
+        let clean = PopulationModel::learn(&clean_views, CohortConfig::default()).unwrap();
+        let mixed_model = PopulationModel::learn(&mixed_views, CohortConfig::default()).unwrap();
+        prop_assert_eq!(mixed_model.members(), clean.members());
+        let expect: Vec<usize> = (boards.len()..boards.len() + lot).collect();
+        prop_assert_eq!(mixed_model.excluded(), expect.as_slice());
+        for (a, b) in mixed_model.medians().iter().zip(clean.medians()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in mixed_model.sigmas().iter().zip(clean.sigmas()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

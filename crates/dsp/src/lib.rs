@@ -59,7 +59,7 @@ pub mod similarity;
 pub mod stats;
 pub mod waveform;
 
-pub use roc::{RocCurve, RocPoint};
+pub use roc::{auc, RocCurve, RocPoint};
 pub use rng::{DivotRng, OrnsteinUhlenbeck};
 pub use stats::{Histogram, Summary};
 pub use waveform::Waveform;

@@ -121,6 +121,30 @@ impl RocCurve {
     }
 }
 
+/// Area under the ROC curve directly from unsorted score sets, without
+/// building the full curve — the Mann–Whitney U statistic (probability a
+/// random genuine score exceeds a random impostor score, ties counted
+/// half). Cohort-size sweeps call this per operating point where the
+/// full [`RocCurve`] would be rebuilt just to read one number.
+///
+/// # Panics
+///
+/// Panics if either score set is empty or contains NaN (same contract
+/// as [`RocCurve::from_scores`]).
+pub fn auc(genuine: &[f64], impostor: &[f64]) -> f64 {
+    assert!(!genuine.is_empty(), "genuine score set must be non-empty");
+    assert!(!impostor.is_empty(), "impostor score set must be non-empty");
+    assert!(
+        genuine.iter().chain(impostor).all(|s| !s.is_nan()),
+        "scores must not be NaN"
+    );
+    let mut g = genuine.to_vec();
+    let mut i = impostor.to_vec();
+    g.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+    i.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+    auc_mann_whitney(&g, &i)
+}
+
 fn frac_at_or_above(sorted: &[f64], t: f64) -> f64 {
     // Number of elements >= t in an ascending-sorted slice.
     let idx = sorted.partition_point(|&x| x < t);
@@ -253,8 +277,48 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "impostor score set must be non-empty")]
+    fn rejects_empty_impostor() {
+        let _ = RocCurve::from_scores(&[0.9], &[]);
+    }
+
+    #[test]
     #[should_panic(expected = "scores must not be NaN")]
     fn rejects_nan_scores() {
         let _ = RocCurve::from_scores(&[f64::NAN], &[0.1]);
+    }
+
+    #[test]
+    fn all_tied_scores_are_chance() {
+        // Every score identical in both sets: no threshold separates
+        // anything — AUC is exactly chance, EER is 1/2, and the curve
+        // still spans its corners without NaNs.
+        let tied = [0.7; 8];
+        let roc = RocCurve::from_scores(&tied, &tied);
+        assert!((roc.auc() - 0.5).abs() < 1e-12, "auc={}", roc.auc());
+        assert!((roc.eer() - 0.5).abs() < 1e-9, "eer={}", roc.eer());
+        for p in roc.points() {
+            assert!(p.fpr.is_finite() && p.tpr.is_finite());
+        }
+        assert_eq!(roc.points().first().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        assert_eq!(roc.points().last().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert!((auc(&tied, &tied) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_auc_matches_curve_auc() {
+        let mut rng = DivotRng::seed_from_u64(9);
+        let genuine: Vec<f64> = (0..400).map(|_| rng.normal(0.8, 0.3)).collect();
+        let impostor: Vec<f64> = (0..300).map(|_| rng.normal(-0.2, 0.4)).collect();
+        let roc = RocCurve::from_scores(&genuine, &impostor);
+        assert_eq!(auc(&genuine, &impostor).to_bits(), roc.auc().to_bits());
+        assert_eq!(auc(&[1.0], &[0.0]), 1.0);
+        assert_eq!(auc(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impostor score set must be non-empty")]
+    fn free_auc_rejects_empty_impostor() {
+        let _ = auc(&[0.5], &[]);
     }
 }

@@ -59,6 +59,43 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 50.0)
 }
 
+/// Median absolute deviation: the median of `|x - median(xs)|`. Returns
+/// `None` for an empty slice; a single-element or constant slice has MAD
+/// zero. Multiply by ≈1.4826 for a robust σ estimate under normality
+/// (see [`MAD_TO_SIGMA`]).
+pub fn median_abs_deviation(xs: &[f64]) -> Option<f64> {
+    let m = median(xs)?;
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Consistency factor converting a [`median_abs_deviation`] into an
+/// unbiased σ estimate for normally distributed data (1/Φ⁻¹(3/4)).
+pub const MAD_TO_SIGMA: f64 = 1.482_602_218_505_602;
+
+/// Mean of the central `1 - 2·trim` fraction: sort, drop
+/// `floor(trim·n)` samples from each end, average the rest. Robust to a
+/// bounded fraction of outliers while smoother than the median. Returns
+/// `None` for an empty slice; `trim = 0` is the plain mean.
+///
+/// # Panics
+///
+/// Panics if `trim` is outside `[0, 0.5)`.
+pub fn trimmed_mean(xs: &[f64], trim: f64) -> Option<f64> {
+    assert!(
+        (0.0..0.5).contains(&trim),
+        "trim fraction must be in [0, 0.5)"
+    );
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    let cut = (trim * sorted.len() as f64).floor() as usize;
+    // cut < n/2 by the trim bound, so the kept range is never empty.
+    Some(mean(&sorted[cut..sorted.len() - cut]))
+}
+
 /// A one-pass (Welford) accumulator for mean/variance plus extrema.
 ///
 /// ```
@@ -139,6 +176,10 @@ impl Accumulator {
     }
 
     /// Snapshot as a [`Summary`].
+    ///
+    /// A streaming accumulator cannot compute order statistics, so the
+    /// snapshot's [`mad`](Summary::mad) is NaN; use [`Summary::of`] when
+    /// the full sample is at hand and the robust spread matters.
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.count,
@@ -146,6 +187,7 @@ impl Accumulator {
             std_dev: self.std_dev(),
             min: self.min().unwrap_or(f64::NAN),
             max: self.max().unwrap_or(f64::NAN),
+            mad: f64::NAN,
         }
     }
 }
@@ -179,12 +221,20 @@ pub struct Summary {
     pub min: f64,
     /// Maximum (NaN if empty).
     pub max: f64,
+    /// Median absolute deviation (NaN if empty, or when the summary was
+    /// snapshotted from a streaming [`Accumulator`], which cannot
+    /// compute order statistics).
+    pub mad: f64,
 }
 
 impl Summary {
-    /// Summarize a slice in one call.
+    /// Summarize a slice in one call (including the robust
+    /// [`mad`](Self::mad), which a streaming snapshot cannot provide).
     pub fn of(xs: &[f64]) -> Self {
-        xs.iter().copied().collect::<Accumulator>().summary()
+        Summary {
+            mad: median_abs_deviation(xs).unwrap_or(f64::NAN),
+            ..xs.iter().copied().collect::<Accumulator>().summary()
+        }
     }
 }
 
@@ -192,8 +242,8 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.6e} sd={:.6e} min={:.6e} max={:.6e}",
-            self.count, self.mean, self.std_dev, self.min, self.max
+            "n={} mean={:.6e} sd={:.6e} min={:.6e} max={:.6e} mad={:.6e}",
+            self.count, self.mean, self.std_dev, self.min, self.max, self.mad
         )
     }
 }
@@ -359,6 +409,55 @@ mod tests {
     fn summary_display_nonempty() {
         let s = Summary::of(&[1.0, 2.0]);
         assert!(format!("{s}").contains("n=2"));
+        assert!(format!("{s}").contains("mad="));
+    }
+
+    #[test]
+    fn mad_ignores_outliers() {
+        // One wild outlier moves std_dev by orders of magnitude but
+        // leaves the MAD at the bulk's spread.
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let dirty = [1.0, 2.0, 3.0, 4.0, 1e6];
+        assert_eq!(median_abs_deviation(&clean), Some(1.0));
+        assert_eq!(median_abs_deviation(&dirty), Some(1.0));
+        assert!(std_dev(&dirty) > 1e5);
+        assert!((median_abs_deviation(&[3.0]).unwrap()).abs() < 1e-15);
+        assert_eq!(median_abs_deviation(&[]), None);
+    }
+
+    #[test]
+    fn mad_to_sigma_recovers_normal_spread() {
+        use crate::rng::DivotRng;
+        let mut rng = DivotRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.normal(0.0, 2.5)).collect();
+        let robust_sigma = median_abs_deviation(&xs).unwrap() * MAD_TO_SIGMA;
+        assert!((robust_sigma - 2.5).abs() < 0.1, "robust_sigma={robust_sigma}");
+    }
+
+    #[test]
+    fn trimmed_mean_discards_tails() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        // 20% trim drops one sample from each end: mean of [2,3,4].
+        assert_eq!(trimmed_mean(&xs, 0.2), Some(3.0));
+        // Zero trim is the plain mean.
+        assert_eq!(trimmed_mean(&xs, 0.0), Some(mean(&xs)));
+        assert_eq!(trimmed_mean(&[], 0.1), None);
+        assert_eq!(trimmed_mean(&[7.0], 0.4), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction must be in [0, 0.5)")]
+    fn trimmed_mean_rejects_half_trim() {
+        let _ = trimmed_mean(&[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn summary_of_carries_mad_but_streaming_snapshot_cannot() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::of(&xs).mad, 1.0);
+        let acc: Accumulator = xs.iter().copied().collect();
+        assert!(acc.summary().mad.is_nan());
+        assert_eq!(acc.summary().count, 5);
     }
 
     #[test]

@@ -265,4 +265,72 @@ proptest! {
             prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
+
+    #[test]
+    fn mad_is_robust_and_shift_invariant(
+        xs in proptest::collection::vec(finite_sample(), 1..64),
+        shift in -1e3f64..1e3,
+    ) {
+        use divot_dsp::stats::median_abs_deviation;
+        let mad = median_abs_deviation(&xs).expect("non-empty");
+        // MAD is non-negative and bounded by the half-range.
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mad >= 0.0);
+        prop_assert!(mad <= (hi - lo) + 1e-9, "mad={mad} range={}", hi - lo);
+        // Shifting every sample leaves the MAD unchanged.
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let mad_shifted = median_abs_deviation(&shifted).expect("non-empty");
+        prop_assert!(
+            (mad - mad_shifted).abs() < 1e-6 * (1.0 + mad.abs()),
+            "mad={mad} shifted={mad_shifted}"
+        );
+    }
+
+    #[test]
+    fn mad_of_constant_slice_is_zero(
+        value in finite_sample(),
+        n in 1usize..32,
+    ) {
+        use divot_dsp::stats::median_abs_deviation;
+        let xs = vec![value; n];
+        prop_assert_eq!(median_abs_deviation(&xs), Some(0.0));
+        prop_assert_eq!(median_abs_deviation(&[]), None);
+        prop_assert_eq!(median_abs_deviation(&[value]), Some(0.0));
+    }
+
+    #[test]
+    fn trimmed_mean_bounded_and_degenerate_cases(
+        xs in proptest::collection::vec(finite_sample(), 1..64),
+        trim in 0.0f64..0.5,
+        value in finite_sample(),
+    ) {
+        use divot_dsp::stats::trimmed_mean;
+        let tm = trimmed_mean(&xs, trim).expect("non-empty");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(tm >= lo - 1e-9 && tm <= hi + 1e-9, "tm={tm} not in [{lo},{hi}]");
+        // Empty slice → None; single element / constant slices return the
+        // value itself at any trim.
+        prop_assert_eq!(trimmed_mean(&[], trim), None);
+        prop_assert_eq!(trimmed_mean(&[value], trim), Some(value));
+        let constant = vec![value; xs.len()];
+        let tc = trimmed_mean(&constant, trim).expect("non-empty");
+        prop_assert!((tc - value).abs() < 1e-9 * (1.0 + value.abs()));
+        // Zero trim is the plain mean.
+        let plain = trimmed_mean(&xs, 0.0).expect("non-empty");
+        prop_assert!((plain - divot_dsp::stats::mean(&xs)).abs() < 1e-9 * (1.0 + plain.abs()));
+    }
+
+    #[test]
+    fn summary_mad_matches_free_function(
+        xs in proptest::collection::vec(finite_sample(), 1..64),
+    ) {
+        use divot_dsp::stats::{median_abs_deviation, Summary};
+        let s = Summary::of(&xs);
+        prop_assert_eq!(Some(s.mad), median_abs_deviation(&xs));
+        // The streaming snapshot cannot compute a MAD.
+        let acc: Accumulator = xs.iter().copied().collect();
+        prop_assert!(acc.summary().mad.is_nan());
+    }
 }

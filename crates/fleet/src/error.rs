@@ -76,6 +76,13 @@ pub enum FleetError {
     Protocol(String),
     /// A transport-level I/O failure (TCP client side).
     Io(String),
+    /// An intake scan arrived before any [`crate::Request::CohortEnroll`]
+    /// learned a population model.
+    NoCohortModel,
+    /// A cohort enrollment's fingerprints could not support a population
+    /// model (cohort too small, splintered into sub-populations, …) —
+    /// the wrapped reason is the cohort crate's diagnostic.
+    CohortRejected(String),
 }
 
 impl FleetError {
@@ -89,6 +96,8 @@ impl FleetError {
             Self::ShuttingDown => 5,
             Self::Protocol(_) => 6,
             Self::Io(_) => 7,
+            Self::NoCohortModel => 8,
+            Self::CohortRejected(_) => 9,
         }
     }
 
@@ -126,6 +135,10 @@ impl fmt::Display for FleetError {
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Self::Io(msg) => write!(f, "i/o error: {msg}"),
+            Self::NoCohortModel => {
+                write!(f, "no population model learned yet (run a cohort enroll first)")
+            }
+            Self::CohortRejected(msg) => write!(f, "cohort rejected: {msg}"),
         }
     }
 }
@@ -156,6 +169,8 @@ mod tests {
             FleetError::ShuttingDown,
             FleetError::Protocol("p".into()),
             FleetError::Io("io".into()),
+            FleetError::NoCohortModel,
+            FleetError::CohortRejected("splintered".into()),
         ];
         let mut codes: Vec<u8> = all.iter().map(FleetError::code).collect();
         codes.sort_unstable();
@@ -175,6 +190,8 @@ mod tests {
         assert!(FleetError::DeadlineExceeded.is_retryable());
         assert!(!FleetError::UnknownDevice("d".into()).is_retryable());
         assert!(!FleetError::ShuttingDown.is_retryable());
+        assert!(!FleetError::NoCohortModel.is_retryable());
+        assert!(!FleetError::CohortRejected("r".into()).is_retryable());
     }
 
     #[test]

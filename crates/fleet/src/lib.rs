@@ -7,7 +7,10 @@
 //! verifier attesting many field devices): a std-only concurrent service
 //! that owns a population of enrolled buses and serves `Enroll`,
 //! `Verify`, `MonitorScan`, and `RegistrySnapshot` requests from many
-//! clients at once.
+//! clients at once. The golden-free intake path (`CohortEnroll` /
+//! `IntakeScan`, backed by [`divot_cohort`]) attests boards against a
+//! population model learned from a cohort — no per-device reference
+//! fingerprints required.
 //!
 //! The moving parts, one module each:
 //!
@@ -69,7 +72,10 @@
 //! `fleet.reactor.push_skips`, and the gauges `fleet.reactor.conns` /
 //! `fleet.reactor.subs`. `fleet.queue.wait_ns` and the per-shard
 //! `fleet.store.shard.NNN.lock_hold_ns` histograms time the admission
-//! queue and store-lock critical sections.
+//! queue and store-lock critical sections. The golden-free intake path
+//! adds `fleet.cohort.model.rebuilds`, `fleet.cohort.scans`, and the
+//! verdict breakdown `fleet.cohort.verdict.genuine` /
+//! `.counterfeit` / `.tampered` / `.inconclusive`.
 //!
 //! # Observability plane
 //!
@@ -97,9 +103,9 @@ pub mod wire;
 pub use error::{FleetError, ShedReason};
 pub use reactor::ReactorConfig;
 pub use service::{
-    Completion, CompletionQueue, FleetClient, FleetConfig, FleetService, FleetStats, Request,
-    Response, RetryPolicy,
+    Completion, CompletionQueue, FleetClient, FleetConfig, FleetService, FleetStats, IntakeReport,
+    Request, Response, RetryPolicy,
 };
-pub use sim::{subscription_nonce, FleetSimConfig, SimulatedFleet};
+pub use sim::{subscription_nonce, Anomaly, FleetSimConfig, SimulatedFleet};
 pub use store::FleetStore;
 pub use wire::{FleetTcpServer, PipelinedFleetClient, TcpFleetClient, WireEvent, WireRequest};

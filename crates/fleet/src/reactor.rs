@@ -309,6 +309,8 @@ fn coalesce_key(request: &Request) -> Option<CoalesceKey> {
         Request::MonitorScan { device, nonce } => Some((1, device.clone(), *nonce)),
         Request::Enroll { .. }
         | Request::EnrollBatch { .. }
+        | Request::CohortEnroll { .. }
+        | Request::IntakeScan { .. }
         | Request::RegistrySnapshot
         | Request::Stats => None,
     }

@@ -34,6 +34,7 @@ use crate::cache::{TwoTierCache, VerdictKey, VerdictKind, WorkerTier};
 use crate::error::{FleetError, ShedReason};
 use crate::sim::SimulatedFleet;
 use crate::store::FleetStore;
+use divot_cohort::{CohortConfig, PopulationModel, Verdict};
 use divot_core::auth::{AuthPolicy, Authenticator};
 use divot_core::exec::ExecPolicy;
 use divot_core::tamper::{TamperDetector, TamperPolicy};
@@ -85,6 +86,25 @@ pub enum Request {
         /// Acquisition noise stream selector.
         nonce: u64,
     },
+    /// Learn (or relearn) the golden-free population model from an
+    /// intake cohort: acquire one averaged fingerprint per `(device,
+    /// nonce)` row, cluster out off-population boards, and fit the
+    /// robust per-segment statistics subsequent
+    /// [`Request::IntakeScan`]s attest against. All-or-nothing: one
+    /// unknown device fails the batch before anything is acquired.
+    CohortEnroll {
+        /// `(device id, acquisition nonce)` rows forming the cohort.
+        devices: Vec<(String, u64)>,
+    },
+    /// Attest unknown boards against the learned population model —
+    /// supply-chain intake with no per-device enrollment. Each row is
+    /// acquired exactly like a solo acquisition with that nonce and
+    /// scored independently, so verdicts are bitwise-identical across
+    /// worker layouts and batch splits.
+    IntakeScan {
+        /// `(device id, acquisition nonce)` rows to attest, in order.
+        devices: Vec<(String, u64)>,
+    },
     /// List every enrolled device and its shard.
     RegistrySnapshot,
     /// Export the service's operational stats: queue depth, telemetry
@@ -102,6 +122,8 @@ impl Request {
             Self::EnrollBatch { .. } => "enroll_batch",
             Self::Verify { .. } => "verify",
             Self::MonitorScan { .. } => "scan",
+            Self::CohortEnroll { .. } => "cohort_enroll",
+            Self::IntakeScan { .. } => "intake_scan",
             Self::RegistrySnapshot => "snapshot",
             Self::Stats => "stats",
         }
@@ -116,6 +138,8 @@ impl Request {
             Self::EnrollBatch { .. } => "fleet.request.latency.enroll_batch",
             Self::Verify { .. } => "fleet.request.latency.verify",
             Self::MonitorScan { .. } => "fleet.request.latency.scan",
+            Self::CohortEnroll { .. } => "fleet.request.latency.cohort_enroll",
+            Self::IntakeScan { .. } => "fleet.request.latency.intake_scan",
             Self::RegistrySnapshot => "fleet.request.latency.snapshot",
             Self::Stats => "fleet.request.latency.stats",
         }
@@ -141,7 +165,9 @@ impl Request {
             Self::Enroll { device, nonce }
             | Self::Verify { device, nonce }
             | Self::MonitorScan { device, nonce } => Some(fnv(device) ^ nonce),
-            Self::EnrollBatch { devices } => {
+            Self::EnrollBatch { devices }
+            | Self::CohortEnroll { devices }
+            | Self::IntakeScan { devices } => {
                 devices.first().map(|(device, nonce)| fnv(device) ^ nonce)
             }
             Self::RegistrySnapshot | Self::Stats => None,
@@ -192,6 +218,22 @@ pub enum Response {
         /// Estimated tamper distance from the instrumented end, meters.
         location_m: Option<f64>,
     },
+    /// A [`Request::CohortEnroll`] learned (and installed) a population
+    /// model.
+    CohortModel {
+        /// Boards the model was fitted on (the genuine cluster).
+        cohort_size: u32,
+        /// Boards excluded as outlier clusters.
+        excluded: u32,
+        /// Fingerprint segments per board.
+        segments: u32,
+    },
+    /// Per-board verdicts of a [`Request::IntakeScan`], in request
+    /// order.
+    Intake {
+        /// One report per scanned board.
+        reports: Vec<IntakeReport>,
+    },
     /// The registry listing.
     Snapshot {
         /// `(device, shard)` rows, sorted by device name.
@@ -202,6 +244,28 @@ pub enum Response {
         /// The exported snapshot.
         stats: FleetStats,
     },
+}
+
+/// One board's intake-scan outcome: the typed verdict plus the compact
+/// evidence an operator needs to route the board (full per-segment z
+/// profiles stay on the service; the wire carries this summary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntakeReport {
+    /// Device id of the scanned board.
+    pub device: String,
+    /// The population verdict.
+    pub verdict: Verdict,
+    /// Scalar genuineness score (the ROC axis — higher is more
+    /// genuine).
+    pub score: f64,
+    /// Mean-removed cosine similarity to the population centroid.
+    pub similarity: f64,
+    /// Largest per-segment robust z-score.
+    pub max_z: f64,
+    /// Segments whose z exceeded the configured deviance threshold.
+    pub deviant_segments: u32,
+    /// Segment index of the largest z — where to inspect the board.
+    pub worst_segment: u32,
 }
 
 /// A point-in-time export of the service's operational state: what
@@ -304,6 +368,8 @@ pub struct FleetConfig {
     /// `0` disables verdict memoization entirely — the determinism
     /// suite uses that to A/B cached against uncached service runs.
     pub verdict_cache_capacity: usize,
+    /// Population-model learning and intake-verdict thresholds.
+    pub cohort: CohortConfig,
 }
 
 impl Default for FleetConfig {
@@ -321,6 +387,7 @@ impl Default for FleetConfig {
             tamper_margin: 4.0,
             retry: RetryPolicy::default(),
             verdict_cache_capacity: 4096,
+            cohort: CohortConfig::default(),
         }
     }
 }
@@ -452,6 +519,12 @@ struct ServiceInner {
     /// The shared L2 verdict tier; each worker thread owns its own L1
     /// [`WorkerTier`] inside its [`work`](Self::work) loop.
     verdicts: TwoTierCache<Response>,
+    /// The golden-free population model intake scans attest against —
+    /// installed (replaced whole) by [`Request::CohortEnroll`]. Scoring
+    /// takes a clone of the `Arc` and drops the lock, so a model swap
+    /// never blocks in-flight scans and every scan's verdicts come from
+    /// exactly one model.
+    cohort: std::sync::RwLock<Option<Arc<PopulationModel>>>,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
 }
@@ -688,6 +761,18 @@ impl ServiceInner {
                     divot_telemetry::inc("fleet.scan.detections");
                 }
             }
+            Response::CohortModel { .. } => divot_telemetry::inc("fleet.cohort.model.rebuilds"),
+            Response::Intake { reports } => {
+                divot_telemetry::add("fleet.cohort.scans", reports.len() as u64);
+                for report in reports {
+                    divot_telemetry::inc(match report.verdict {
+                        Verdict::Genuine => "fleet.cohort.verdict.genuine",
+                        Verdict::Counterfeit => "fleet.cohort.verdict.counterfeit",
+                        Verdict::Tampered => "fleet.cohort.verdict.tampered",
+                        Verdict::Inconclusive => "fleet.cohort.verdict.inconclusive",
+                    });
+                }
+            }
             Response::Snapshot { .. } | Response::StatsSnapshot { .. } => {}
         }
     }
@@ -712,6 +797,8 @@ impl ServiceInner {
             }
             Request::Enroll { .. }
             | Request::EnrollBatch { .. }
+            | Request::CohortEnroll { .. }
+            | Request::IntakeScan { .. }
             | Request::RegistrySnapshot
             | Request::Stats => None,
         };
@@ -732,6 +819,16 @@ impl ServiceInner {
             }
         }
         outcome
+    }
+
+    /// The `UnknownDevice` error of the first row of `devices` the
+    /// fleet does not know (batch admission failure reporting).
+    fn missing_device(&self, devices: &[(String, u64)]) -> FleetError {
+        let missing = devices
+            .iter()
+            .find(|(name, _)| self.sim.device_index(name).is_none())
+            .map_or_else(String::new, |(name, _)| name.clone());
+        FleetError::UnknownDevice(missing)
     }
 
     /// Serve `request` from scratch (the cache-miss path).
@@ -773,13 +870,10 @@ impl ServiceInner {
                 // All-or-nothing: `enroll_batch` refuses the whole batch
                 // when any row names an unknown device, before enrolling
                 // anything.
-                let pairings = self.sim.enroll_batch(devices, policy).ok_or_else(|| {
-                    let missing = devices
-                        .iter()
-                        .find(|(name, _)| self.sim.device_index(name).is_none())
-                        .map_or_else(String::new, |(name, _)| name.clone());
-                    FleetError::UnknownDevice(missing)
-                })?;
+                let pairings = self
+                    .sim
+                    .enroll_batch(devices, policy)
+                    .ok_or_else(|| self.missing_device(devices))?;
                 // One batched acquisition covers every device's clean
                 // calibration window (the same four derived nonces a solo
                 // enroll uses), so the engine fan-out is paid once for
@@ -860,6 +954,65 @@ impl ServiceInner {
                     max_error: report.max_error,
                     location_m: report.location.map(|m| m.0),
                 })
+            }
+            Request::CohortEnroll { devices } => {
+                let policy = ExecPolicy::auto();
+                let span = trace.map(|c| c.span("cohort_enroll", "acquire"));
+                // All-or-nothing, like EnrollBatch: an unknown device
+                // fails the batch before anything is acquired.
+                let fingerprints = self
+                    .sim
+                    .acquire_batch(devices, policy)
+                    .ok_or_else(|| self.missing_device(devices))?;
+                drop(span);
+                let span = trace.map(|c| c.span("cohort_enroll", "learn"));
+                let views: Vec<&[f64]> = fingerprints.iter().map(|w| w.samples()).collect();
+                let model = PopulationModel::learn(&views, self.config.cohort)
+                    .map_err(|e| FleetError::CohortRejected(e.to_string()))?;
+                drop(span);
+                let response = Response::CohortModel {
+                    cohort_size: model.members().len() as u32,
+                    excluded: model.excluded().len() as u32,
+                    segments: model.segments() as u32,
+                };
+                *self.cohort.write().expect("cohort lock poisoned") = Some(Arc::new(model));
+                Ok(response)
+            }
+            Request::IntakeScan { devices } => {
+                // Clone the Arc and drop the lock before acquiring:
+                // every verdict of this scan comes from exactly one
+                // model, and a concurrent relearn never blocks on us.
+                let model = self
+                    .cohort
+                    .read()
+                    .expect("cohort lock poisoned")
+                    .clone()
+                    .ok_or(FleetError::NoCohortModel)?;
+                let span = trace.map(|c| c.span("intake_scan", "acquire"));
+                let fingerprints = self
+                    .sim
+                    .acquire_batch(devices, ExecPolicy::auto())
+                    .ok_or_else(|| self.missing_device(devices))?;
+                drop(span);
+                let span = trace.map(|c| c.span("intake_scan", "score"));
+                let reports = devices
+                    .iter()
+                    .zip(&fingerprints)
+                    .map(|((name, _), w)| {
+                        let (verdict, score) = model.attest(w.samples());
+                        IntakeReport {
+                            device: name.clone(),
+                            verdict,
+                            score: score.score,
+                            similarity: score.similarity,
+                            max_z: score.max_z,
+                            deviant_segments: score.deviant_segments as u32,
+                            worst_segment: score.worst_segment as u32,
+                        }
+                    })
+                    .collect();
+                drop(span);
+                Ok(Response::Intake { reports })
             }
             Request::RegistrySnapshot => Ok(Response::Snapshot {
                 devices: self
@@ -945,6 +1098,7 @@ impl FleetService {
             authenticator: Authenticator::new(config.auth),
             thresholds: std::sync::RwLock::new(std::collections::HashMap::new()),
             verdicts: TwoTierCache::new(config.verdict_cache_capacity),
+            cohort: std::sync::RwLock::new(None),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
@@ -1136,6 +1290,8 @@ impl FleetClient {
             }
             Request::Enroll { .. }
             | Request::EnrollBatch { .. }
+            | Request::CohortEnroll { .. }
+            | Request::IntakeScan { .. }
             | Request::RegistrySnapshot
             | Request::Stats => return None,
         };
@@ -1691,5 +1847,196 @@ mod tests {
             None,
             "enrolls are never memoized"
         );
+    }
+
+    fn intake_fleet(workers: usize) -> FleetService {
+        use crate::sim::Anomaly;
+        use divot_txline::attack::Attack;
+        // 20 devices; the last two carry supply-chain anomalies the
+        // population model has never seen a reference for.
+        let sim = FleetSimConfig::fast(20, 7).with_anomalies(vec![
+            (18, Anomaly::Counterfeit),
+            (19, Anomaly::Tampered(Attack::paper_wiretap())),
+        ]);
+        FleetService::start(
+            FleetConfig::default().with_workers(workers),
+            SimulatedFleet::new(sim),
+        )
+    }
+
+    fn cohort_rows(range: std::ops::Range<usize>, nonce: u64) -> Vec<(String, u64)> {
+        range
+            .map(|i| (SimulatedFleet::device_name(i), nonce))
+            .collect()
+    }
+
+    #[test]
+    fn intake_scan_before_enroll_has_no_model() {
+        let svc = service(2, 1);
+        let err = svc
+            .client()
+            .call(Request::IntakeScan {
+                devices: cohort_rows(0..2, 1),
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::NoCohortModel);
+    }
+
+    #[test]
+    fn undersized_cohort_is_rejected_without_installing_a_model() {
+        let svc = service(4, 1);
+        let client = svc.client();
+        let err = client
+            .call(Request::CohortEnroll {
+                devices: cohort_rows(0..4, 1),
+            })
+            .unwrap_err();
+        assert!(matches!(err, FleetError::CohortRejected(_)), "got {err:?}");
+        // The failed enroll must not have half-installed anything.
+        let err = client
+            .call(Request::IntakeScan {
+                devices: cohort_rows(0..1, 2),
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::NoCohortModel);
+    }
+
+    #[test]
+    fn cohort_enroll_with_unknown_device_learns_nothing() {
+        let svc = service(8, 1);
+        let client = svc.client();
+        let mut rows = cohort_rows(0..8, 1);
+        rows.push(("bus-999".into(), 1));
+        let err = client
+            .call(Request::CohortEnroll { devices: rows })
+            .unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice("bus-999".into()));
+        let err = client
+            .call(Request::IntakeScan {
+                devices: cohort_rows(0..1, 2),
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::NoCohortModel);
+    }
+
+    #[test]
+    fn intake_lifecycle_flags_planted_anomalies() {
+        let svc = intake_fleet(2);
+        let client = svc.client();
+        // Learn the population from the 18 genuine boards.
+        match client
+            .call(Request::CohortEnroll {
+                devices: cohort_rows(0..18, 11),
+            })
+            .unwrap()
+        {
+            Response::CohortModel {
+                cohort_size,
+                excluded,
+                segments,
+            } => {
+                assert!(cohort_size >= 8, "cohort collapsed to {cohort_size}");
+                assert_eq!(cohort_size + excluded, 18);
+                assert!(segments > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Intake-scan everything, planted anomalies included.
+        let reports = match client
+            .call(Request::IntakeScan {
+                devices: cohort_rows(0..20, 400),
+            })
+            .unwrap()
+        {
+            Response::Intake { reports } => reports,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(reports.len(), 20, "one report per request row");
+        let mut genuine_scores = Vec::new();
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.device, SimulatedFleet::device_name(i), "request order");
+            if i < 18 {
+                assert!(
+                    !matches!(r.verdict, Verdict::Counterfeit | Verdict::Tampered),
+                    "genuine {} misflagged: {:?} (score {})",
+                    r.device,
+                    r.verdict,
+                    r.score
+                );
+                genuine_scores.push(r.score);
+            }
+        }
+        // The wire tap deviates far beyond fabrication spread: it must
+        // be flagged outright, below every genuine board's score.
+        let tap = &reports[19];
+        assert!(
+            matches!(tap.verdict, Verdict::Counterfeit | Verdict::Tampered),
+            "wire tap not flagged: {:?} (score {})",
+            tap.verdict,
+            tap.score
+        );
+        let worst_genuine = genuine_scores.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(tap.score < worst_genuine, "{} vs {worst_genuine}", tap.score);
+        // A drifted-lot counterfeit overlaps the genuine spread at this
+        // cohort size (18 boards), so assert score ordering, not class:
+        // it must still rank below the typical genuine board.
+        genuine_scores.sort_by(f64::total_cmp);
+        let median_genuine = genuine_scores[genuine_scores.len() / 2];
+        let fake = &reports[18];
+        assert!(
+            fake.score < median_genuine,
+            "counterfeit must rank below the genuine median ({} vs {median_genuine})",
+            fake.score
+        );
+    }
+
+    #[test]
+    fn intake_verdicts_are_bitwise_identical_across_workers_and_batching() {
+        let enroll = Request::CohortEnroll {
+            devices: cohort_rows(0..18, 11),
+        };
+        let whole = Request::IntakeScan {
+            devices: cohort_rows(0..20, 400),
+        };
+        let mut baseline: Option<Vec<IntakeReport>> = None;
+        for workers in [1usize, 2, 8] {
+            let svc = intake_fleet(workers);
+            let client = svc.client();
+            client.call(enroll.clone()).unwrap();
+            let reports = match client.call(whole.clone()).unwrap() {
+                Response::Intake { reports } => reports,
+                other => panic!("unexpected {other:?}"),
+            };
+            // Splitting the scan into per-device requests must not move
+            // a single bit of any score.
+            let mut split = Vec::new();
+            for row in cohort_rows(0..20, 400) {
+                match client
+                    .call(Request::IntakeScan {
+                        devices: vec![row],
+                    })
+                    .unwrap()
+                {
+                    Response::Intake { reports } => split.extend(reports),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            for (a, b) in reports.iter().zip(&split) {
+                assert_eq!(a.device, b.device);
+                assert_eq!(a.verdict, b.verdict);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+                assert_eq!(a.max_z.to_bits(), b.max_z.to_bits());
+            }
+            match &baseline {
+                None => baseline = Some(reports),
+                Some(base) => {
+                    for (a, b) in base.iter().zip(&reports) {
+                        assert_eq!(a, b, "{workers} workers changed a verdict");
+                        assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

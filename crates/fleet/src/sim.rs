@@ -36,10 +36,11 @@ use divot_core::pdm::effective_cdf;
 use divot_core::registry::Pairing;
 use divot_dsp::rng::{mix_seed, DivotRng};
 use divot_dsp::waveform::Waveform;
+use divot_txline::attack::Attack;
 use divot_txline::board::{Board, BoardConfig, DesignPrecompute};
-use divot_txline::env::EnvState;
-use divot_txline::scatter::TxLine;
-use divot_txline::units::Seconds;
+use divot_txline::env::{EnvState, Environment};
+use divot_txline::scatter::{Network, SimConfig};
+use divot_txline::units::{Ohms, Seconds};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -51,6 +52,8 @@ const SLAVE_DOMAIN: u64 = 0x534C_4156;
 const FAULT_DOMAIN: u64 = 0xFA17_FA17;
 /// Seed-derivation domain of streaming-subscription scan frames.
 const SUB_DOMAIN: u64 = 0x5343_414E;
+/// Seed-derivation domain of counterfeit-lot board fabrication.
+const COUNTERFEIT_DOMAIN: u64 = 0xCF17_CF17;
 
 /// The acquisition nonce of subscription frame `seq` under a
 /// subscription registered with `base` — one shared derivation used by
@@ -59,6 +62,19 @@ const SUB_DOMAIN: u64 = 0x5343_414E;
 /// [`crate::Request::MonitorScan`] issued with the same derived nonce.
 pub fn subscription_nonce(base: u64, seq: u64) -> u64 {
     mix_seed(mix_seed(base, SUB_DOMAIN), seq)
+}
+
+/// A supply-chain anomaly planted on one simulated device — the ground
+/// truth intake-scan benchmarks and tests measure detection against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// The device's board comes from a different (drifted) fabrication
+    /// lot: off-nominal impedance, wider ripple, sloppier connectors —
+    /// a counterfeit or relabeled board.
+    Counterfeit,
+    /// The device's genuine board carries a physical attack artifact
+    /// (solder scar, wire tap, probe, swapped termination chip).
+    Tampered(Attack),
 }
 
 /// Configuration of a simulated fleet.
@@ -77,6 +93,9 @@ pub struct FleetSimConfig {
     pub enroll_count: usize,
     /// Measurements averaged per verify/scan acquisition.
     pub verify_average: usize,
+    /// Ground-truth anomalies planted at fabrication: `(device index,
+    /// anomaly)`. Devices not listed are genuine.
+    pub anomalies: Vec<(usize, Anomaly)>,
 }
 
 impl FleetSimConfig {
@@ -101,6 +120,7 @@ impl FleetSimConfig {
             frontend: FrontEndConfig::default(),
             enroll_count: 8,
             verify_average: 4,
+            anomalies: Vec::new(),
         }
     }
 
@@ -108,6 +128,12 @@ impl FleetSimConfig {
     /// (determinism tests compare Trial and Analytic fleets).
     pub fn with_acq_mode(mut self, mode: AcqMode) -> Self {
         self.itdr = self.itdr.with_acq_mode(mode);
+        self
+    }
+
+    /// The same configuration with planted ground-truth anomalies.
+    pub fn with_anomalies(mut self, anomalies: Vec<(usize, Anomaly)>) -> Self {
+        self.anomalies = anomalies;
         self
     }
 }
@@ -128,7 +154,13 @@ struct WarmDevice {
 #[derive(Debug)]
 struct Device {
     name: String,
-    line: TxLine,
+    /// The device's physical network — the fabricated line with any
+    /// planted anomaly already applied. Stored as a [`Network`] (not a
+    /// `TxLine`) because attack artifacts (taps, scars) only exist at
+    /// the network level; for genuine devices it is exactly
+    /// `line.network()`, so per-request channels built from it are
+    /// bitwise identical to the pre-anomaly code path.
+    network: Network,
     /// Lazily-computed warm state; `OnceLock` so the first request on
     /// the device pays the engine run and every later request (on any
     /// worker) shares it.
@@ -177,13 +209,41 @@ impl SimulatedFleet {
         let boards: Vec<Board> = (0..config.devices.div_ceil(per_board))
             .map(|b| Board::fabricate_with(&design, mix_seed(config.seed, b as u64)))
             .collect();
-        let devices: Vec<Device> = (0..config.devices)
+        let mut devices: Vec<Device> = (0..config.devices)
             .map(|i| Device {
                 name: Self::device_name(i),
-                line: boards[i / per_board].line(i % per_board).clone(),
+                network: boards[i / per_board].line(i % per_board).network(),
                 warm: OnceLock::new(),
             })
             .collect();
+
+        // Plant ground-truth anomalies: counterfeit devices get a board
+        // from a drifted fab lot, tampered devices get an attack artifact
+        // applied to their genuine network. Fabrication stays a pure
+        // function of `(seed, device, anomaly)`, so anomalous fleets are
+        // exactly as deterministic as clean ones.
+        let mut seen = vec![false; config.devices];
+        let counterfeit_design = config
+            .anomalies
+            .iter()
+            .any(|(_, a)| *a == Anomaly::Counterfeit)
+            .then(|| DesignPrecompute::new(Self::counterfeit_board_config(design.config())));
+        for (i, anomaly) in &config.anomalies {
+            assert!(*i < config.devices, "anomaly on unknown device {i}");
+            assert!(!seen[*i], "device {i} has two anomalies");
+            seen[*i] = true;
+            devices[*i].network = match anomaly {
+                Anomaly::Counterfeit => {
+                    let fab = counterfeit_design.as_ref().expect("built above");
+                    let board = Board::fabricate_with(
+                        fab,
+                        mix_seed(config.seed, COUNTERFEIT_DOMAIN ^ (*i / per_board) as u64),
+                    );
+                    board.line(*i % per_board).network()
+                }
+                Anomaly::Tampered(attack) => attack.apply(&devices[*i].network),
+            };
+        }
         let index = devices
             .iter()
             .enumerate()
@@ -210,6 +270,28 @@ impl SimulatedFleet {
     /// it).
     pub fn design(&self) -> &Arc<DesignPrecompute> {
         &self.design
+    }
+
+    /// The drifted fab lot counterfeit boards come from: off-nominal
+    /// impedance (+10 %), wider process ripple (×3), and sloppier
+    /// connector assembly (×2) — same design, different (cheaper)
+    /// factory using a different stackup.
+    pub fn counterfeit_board_config(genuine: &BoardConfig) -> BoardConfig {
+        let mut cfg = genuine.clone();
+        cfg.process.z0 = Ohms(cfg.process.z0.0 * 1.10);
+        cfg.process.relative_sigma *= 3.0;
+        cfg.process.connector_bump *= 2.0;
+        cfg
+    }
+
+    /// The ground-truth anomaly planted on device `i`, if any —
+    /// benchmarks and tests label their ROC populations with this.
+    pub fn anomaly(&self, i: usize) -> Option<&Anomaly> {
+        self.config
+            .anomalies
+            .iter()
+            .find(|(d, _)| *d == i)
+            .map(|(_, a)| a)
     }
 
     /// The canonical name of device `i` (`bus-000`, `bus-001`, …).
@@ -260,11 +342,24 @@ impl SimulatedFleet {
     fn warm(&self, i: usize) -> &WarmDevice {
         let device = &self.devices[i];
         device.warm.get_or_init(|| {
-            let mut probe = BusChannel::new(device.line.clone(), self.config.frontend, 0);
+            let mut probe = self.raw_channel(device, 0);
             let response = probe.response_now();
             let state = probe.environment().state_at(Seconds(0.0));
             WarmDevice { state, response }
         })
+    }
+
+    /// An unseeded channel onto `device`'s (possibly anomalous) network.
+    /// For genuine devices this is exactly `BusChannel::new(line, ..)`
+    /// — same room environment, same default simulation config.
+    fn raw_channel(&self, device: &Device, seed: u64) -> BusChannel {
+        BusChannel::from_network(
+            device.network.clone(),
+            Environment::room(),
+            SimConfig::default(),
+            self.config.frontend,
+            seed,
+        )
     }
 
     /// A fresh channel onto `device`'s line whose noise stream derives
@@ -272,11 +367,7 @@ impl SimulatedFleet {
     /// memoized response / ROM / schedule so serving it never re-runs
     /// the scattering engine or rebuilds acquisition tables.
     fn channel(&self, device: &Device, index: usize, domain: u64, nonce: u64) -> BusChannel {
-        let mut ch = BusChannel::new(
-            device.line.clone(),
-            self.config.frontend,
-            self.request_seed(index, domain, nonce),
-        );
+        let mut ch = self.raw_channel(device, self.request_seed(index, domain, nonce));
         let warm = self.warm(index);
         ch.seed_response(warm.state, Arc::clone(&warm.response));
         ch.seed_reconstruction_table(Arc::clone(&self.table));
@@ -437,11 +528,7 @@ impl SimulatedFleet {
     /// per call, so use it for equivalence checks, not throughput.
     pub fn acquire_uncached(&self, name: &str, nonce: u64) -> Option<Waveform> {
         let (i, device) = self.device(name)?;
-        let mut ch = BusChannel::new(
-            device.line.clone(),
-            self.config.frontend,
-            self.request_seed(i, MASTER_DOMAIN, nonce),
-        );
+        let mut ch = self.raw_channel(device, self.request_seed(i, MASTER_DOMAIN, nonce));
         Some(self.itdr.measure_averaged_with(
             &mut ch,
             self.config.verify_average,
@@ -588,6 +675,78 @@ mod tests {
         ];
         assert!(f.enroll_batch(&items, ExecPolicy::Serial).is_none());
         assert!(f.acquire_batch(&items, ExecPolicy::Serial).is_none());
+    }
+
+    #[test]
+    fn anomalous_devices_differ_but_stay_deterministic() {
+        let anomalies = vec![
+            (0usize, Anomaly::Counterfeit),
+            (2usize, Anomaly::Tampered(Attack::SolderScar { position: 0.4 })),
+        ];
+        let clean = fleet(4);
+        let dirty = SimulatedFleet::new(
+            FleetSimConfig::fast(4, 99).with_anomalies(anomalies.clone()),
+        );
+        let dirty2 = SimulatedFleet::new(
+            FleetSimConfig::fast(4, 99).with_anomalies(anomalies),
+        );
+        for i in [0usize, 2] {
+            let name = SimulatedFleet::device_name(i);
+            let a = dirty.acquire(&name, 5).unwrap();
+            assert_ne!(a, clean.acquire(&name, 5).unwrap(), "{name} must deviate");
+            let b = dirty2.acquire(&name, 5).unwrap();
+            for (x, y) in a.samples().iter().zip(b.samples()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name} must be reproducible");
+            }
+        }
+        assert_eq!(dirty.anomaly(0), Some(&Anomaly::Counterfeit));
+        assert_eq!(dirty.anomaly(1), None);
+    }
+
+    #[test]
+    fn genuine_devices_are_bitwise_unaffected_by_anomalous_neighbors() {
+        let clean = fleet(4);
+        let dirty = SimulatedFleet::new(
+            FleetSimConfig::fast(4, 99)
+                .with_anomalies(vec![(0, Anomaly::Tampered(Attack::paper_wiretap()))]),
+        );
+        for i in 1..4 {
+            let name = SimulatedFleet::device_name(i);
+            let a = clean.acquire(&name, 77).unwrap();
+            let b = dirty.acquire(&name, 77).unwrap();
+            for (x, y) in a.samples().iter().zip(b.samples()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomalous_acquisition_matches_uncached_bitwise() {
+        let f = SimulatedFleet::new(
+            FleetSimConfig::fast(2, 7).with_anomalies(vec![(1, Anomaly::Counterfeit)]),
+        );
+        let fast = f.acquire("bus-001", 9).unwrap();
+        let slow = f.acquire_uncached("bus-001", 9).unwrap();
+        for (a, b) in fast.samples().iter().zip(slow.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "anomaly on unknown device")]
+    fn anomaly_on_missing_device_is_rejected() {
+        let _ = SimulatedFleet::new(
+            FleetSimConfig::fast(2, 1).with_anomalies(vec![(5, Anomaly::Counterfeit)]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two anomalies")]
+    fn duplicate_anomalies_are_rejected() {
+        let _ = SimulatedFleet::new(FleetSimConfig::fast(2, 1).with_anomalies(vec![
+            (0, Anomaly::Counterfeit),
+            (0, Anomaly::Tampered(Attack::paper_wiretap())),
+        ]));
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! byte-equivalence reference.
 
 use crate::error::{FleetError, ShedReason};
-use crate::service::{FleetClient, FleetStats, Request, Response};
+use crate::service::{FleetClient, FleetStats, IntakeReport, Request, Response};
+use divot_cohort::Verdict;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,6 +56,8 @@ const TAG_SCAN: u8 = 3;
 const TAG_SNAPSHOT: u8 = 4;
 const TAG_ENROLL_BATCH: u8 = 5;
 const TAG_STATS: u8 = 6;
+const TAG_COHORT_ENROLL: u8 = 7;
+const TAG_INTAKE: u8 = 8;
 
 const RESP_ENROLLED: u8 = 1;
 const RESP_VERDICT: u8 = 2;
@@ -62,6 +65,8 @@ const RESP_SCAN: u8 = 3;
 const RESP_SNAPSHOT: u8 = 4;
 const RESP_ENROLLED_BATCH: u8 = 5;
 const RESP_STATS: u8 = 6;
+const RESP_COHORT_MODEL: u8 = 7;
+const RESP_INTAKE: u8 = 8;
 
 /// v2 request kinds (byte after the version byte).
 const REQ2_TAGGED: u8 = 1;
@@ -70,9 +75,9 @@ const REQ2_UNSUBSCRIBE: u8 = 3;
 const REQ2_STATS_SUBSCRIBE: u8 = 4;
 
 /// First byte of every enveloped (v2) server→client frame. Plain v1
-/// responses start with a status byte `0..=7`, so the envelope marker
-/// makes the two stream formats self-distinguishing even on a mixed
-/// connection.
+/// responses start with a status byte (`0` or a small
+/// [`FleetError::code`]), so the envelope marker makes the two stream
+/// formats self-distinguishing even on a mixed connection.
 pub const ENVELOPE: u8 = 0xE2;
 
 /// v2 event kinds (byte after the envelope marker).
@@ -268,6 +273,29 @@ pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
                         out.extend_from_slice(&shard.to_le_bytes());
                     }
                 }
+                Response::CohortModel {
+                    cohort_size,
+                    excluded,
+                    segments,
+                } => {
+                    out.push(RESP_COHORT_MODEL);
+                    out.extend_from_slice(&cohort_size.to_le_bytes());
+                    out.extend_from_slice(&excluded.to_le_bytes());
+                    out.extend_from_slice(&segments.to_le_bytes());
+                }
+                Response::Intake { reports } => {
+                    out.push(RESP_INTAKE);
+                    out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+                    for r in reports {
+                        put_str(&mut out, &r.device);
+                        out.push(r.verdict.code());
+                        out.extend_from_slice(&r.score.to_bits().to_le_bytes());
+                        out.extend_from_slice(&r.similarity.to_bits().to_le_bytes());
+                        out.extend_from_slice(&r.max_z.to_bits().to_le_bytes());
+                        out.extend_from_slice(&r.deviant_segments.to_le_bytes());
+                        out.extend_from_slice(&r.worst_segment.to_le_bytes());
+                    }
+                }
                 Response::StatsSnapshot { stats } => {
                     out.push(RESP_STATS);
                     out.extend_from_slice(&stats.queue_depth.to_le_bytes());
@@ -309,8 +337,12 @@ pub fn encode_response(outcome: &Result<Response, FleetError>) -> Vec<u8> {
                     out.extend_from_slice(&attempts.to_le_bytes());
                 }
                 FleetError::UnknownDevice(d) => put_str(&mut out, d),
-                FleetError::Protocol(m) | FleetError::Io(m) => put_str(&mut out, m),
-                FleetError::DeadlineExceeded | FleetError::ShuttingDown => {}
+                FleetError::Protocol(m) | FleetError::Io(m) | FleetError::CohortRejected(m) => {
+                    put_str(&mut out, m)
+                }
+                FleetError::DeadlineExceeded
+                | FleetError::ShuttingDown
+                | FleetError::NoCohortModel => {}
             }
         }
     }
@@ -341,6 +373,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
             5 => FleetError::ShuttingDown,
             6 => FleetError::Protocol(c.string()?),
             7 => FleetError::Io(c.string()?),
+            8 => FleetError::NoCohortModel,
+            9 => FleetError::CohortRejected(c.string()?),
             other => FleetError::Protocol(format!("unknown error code {other}")),
         };
         c.finish()?;
@@ -380,6 +414,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FleetError> {
                 devices.push((name, c.u32()?));
             }
             Response::EnrolledBatch { devices }
+        }
+        RESP_COHORT_MODEL => Response::CohortModel {
+            cohort_size: c.u32()?,
+            excluded: c.u32()?,
+            segments: c.u32()?,
+        },
+        RESP_INTAKE => {
+            let n = c.u32()? as usize;
+            let mut reports = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let device = c.string()?;
+                let code = c.u8()?;
+                let verdict = Verdict::from_code(code).ok_or_else(|| {
+                    FleetError::Protocol(format!("unknown verdict code {code}"))
+                })?;
+                reports.push(IntakeReport {
+                    device,
+                    verdict,
+                    score: c.f64()?,
+                    similarity: c.f64()?,
+                    max_z: c.f64()?,
+                    deviant_segments: c.u32()?,
+                    worst_segment: c.u32()?,
+                });
+            }
+            Response::Intake { reports }
         }
         RESP_STATS => {
             let mut stats = FleetStats {
@@ -543,16 +603,32 @@ fn put_request_body(out: &mut Vec<u8>, request: &Request) {
             out.extend_from_slice(&nonce.to_le_bytes());
         }
         Request::RegistrySnapshot => out.push(TAG_SNAPSHOT),
-        Request::EnrollBatch { devices } => {
-            out.push(TAG_ENROLL_BATCH);
-            out.extend_from_slice(&(devices.len() as u32).to_le_bytes());
-            for (device, nonce) in devices {
-                put_str(out, device);
-                out.extend_from_slice(&nonce.to_le_bytes());
-            }
-        }
+        Request::EnrollBatch { devices } => put_batch_rows(out, TAG_ENROLL_BATCH, devices),
+        Request::CohortEnroll { devices } => put_batch_rows(out, TAG_COHORT_ENROLL, devices),
+        Request::IntakeScan { devices } => put_batch_rows(out, TAG_INTAKE, devices),
         Request::Stats => out.push(TAG_STATS),
     }
+}
+
+/// The shared `(device, nonce)`-rows body of the batch request kinds.
+fn put_batch_rows(out: &mut Vec<u8>, tag: u8, devices: &[(String, u64)]) {
+    out.push(tag);
+    out.extend_from_slice(&(devices.len() as u32).to_le_bytes());
+    for (device, nonce) in devices {
+        put_str(out, device);
+        out.extend_from_slice(&nonce.to_le_bytes());
+    }
+}
+
+/// Decode the `(device, nonce)` rows of a batch request body.
+fn take_batch_rows(c: &mut Cursor<'_>) -> Result<Vec<(String, u64)>, FleetError> {
+    let n = c.u32()? as usize;
+    let mut devices = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let device = c.string()?;
+        devices.push((device, c.u64()?));
+    }
+    Ok(devices)
 }
 
 fn take_request_body(c: &mut Cursor<'_>) -> Result<Request, FleetError> {
@@ -571,15 +647,15 @@ fn take_request_body(c: &mut Cursor<'_>) -> Result<Request, FleetError> {
             nonce: c.u64()?,
         },
         TAG_SNAPSHOT => Request::RegistrySnapshot,
-        TAG_ENROLL_BATCH => {
-            let n = c.u32()? as usize;
-            let mut devices = Vec::with_capacity(n.min(4096));
-            for _ in 0..n {
-                let device = c.string()?;
-                devices.push((device, c.u64()?));
-            }
-            Request::EnrollBatch { devices }
-        }
+        TAG_ENROLL_BATCH => Request::EnrollBatch {
+            devices: take_batch_rows(c)?,
+        },
+        TAG_COHORT_ENROLL => Request::CohortEnroll {
+            devices: take_batch_rows(c)?,
+        },
+        TAG_INTAKE => Request::IntakeScan {
+            devices: take_batch_rows(c)?,
+        },
         TAG_STATS => Request::Stats,
         other => return Err(FleetError::Protocol(format!("unknown request tag {other}"))),
     })
@@ -1329,6 +1405,19 @@ mod tests {
             Some(Duration::from_millis(250)),
         );
         round_trip_request(Request::EnrollBatch { devices: vec![] }, None);
+        round_trip_request(
+            Request::CohortEnroll {
+                devices: vec![("bus-000".into(), 1), ("bus-001".into(), 2)],
+            },
+            Some(Duration::from_millis(5000)),
+        );
+        round_trip_request(
+            Request::IntakeScan {
+                devices: vec![("intake-ünïcode".into(), u64::MAX)],
+            },
+            None,
+        );
+        round_trip_request(Request::IntakeScan { devices: vec![] }, None);
     }
 
     #[test]
@@ -1362,11 +1451,64 @@ mod tests {
                 devices: vec![("bus-000".into(), 2), ("bus-001".into(), 7)],
             },
             Response::EnrolledBatch { devices: vec![] },
+            Response::CohortModel {
+                cohort_size: 256,
+                excluded: 12,
+                segments: 86,
+            },
+            Response::Intake {
+                reports: vec![
+                    IntakeReport {
+                        device: "bus-000".into(),
+                        verdict: Verdict::Genuine,
+                        score: 0.993,
+                        similarity: 0.993,
+                        max_z: 2.5,
+                        deviant_segments: 0,
+                        worst_segment: 41,
+                    },
+                    IntakeReport {
+                        device: "bus-001".into(),
+                        verdict: Verdict::Tampered,
+                        score: -0.75,
+                        similarity: 0.91,
+                        max_z: 44.0,
+                        deviant_segments: 3,
+                        worst_segment: 7,
+                    },
+                ],
+            },
+            Response::Intake { reports: vec![] },
         ];
         for response in cases {
             let bytes = encode_response(&Ok(response.clone()));
             assert_eq!(decode_response(&bytes).unwrap(), response);
         }
+    }
+
+    #[test]
+    fn intake_verdict_codes_reject_unknown_bytes() {
+        let report = IntakeReport {
+            device: "bus-000".into(),
+            verdict: Verdict::Counterfeit,
+            score: 0.1,
+            similarity: 0.2,
+            max_z: 9.0,
+            deviant_segments: 30,
+            worst_segment: 2,
+        };
+        let mut bytes = encode_response(&Ok(Response::Intake {
+            reports: vec![report],
+        }));
+        // Corrupt the verdict byte: it sits right after the status byte,
+        // the response tag, the u32 count, and the length-prefixed name.
+        let verdict_at = 1 + 1 + 4 + 2 + "bus-000".len();
+        assert_eq!(bytes[verdict_at], Verdict::Counterfeit.code());
+        bytes[verdict_at] = 250;
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(FleetError::Protocol(msg)) if msg.contains("verdict")
+        ));
     }
 
     #[test]
@@ -1408,6 +1550,8 @@ mod tests {
             FleetError::ShuttingDown,
             FleetError::Protocol("bad tag".into()),
             FleetError::Io("broken pipe".into()),
+            FleetError::NoCohortModel,
+            FleetError::CohortRejected("cohort of 3 boards is too small".into()),
         ];
         for err in cases {
             let bytes = encode_response(&Err(err.clone()));

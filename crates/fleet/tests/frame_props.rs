@@ -11,7 +11,8 @@ use divot_fleet::wire::{
     encode_stats_frame, encode_stats_subscribe, encode_sub_ack, encode_sub_end, encode_subscribe,
     encode_tagged_response, encode_unsubscribe, FrameBuffer, MAX_FRAME,
 };
-use divot_fleet::{FleetError, FleetStats, Request, Response, WireEvent, WireRequest};
+use divot_cohort::Verdict;
+use divot_fleet::{FleetError, FleetStats, IntakeReport, Request, Response, WireEvent, WireRequest};
 use proptest::prelude::*;
 
 /// Length-prefix a payload the way `write_frame` does.
@@ -119,17 +120,24 @@ proptest! {
         deadline_ms in 0u32..100_000,
         interval_ms in 1u32..60_000,
         max_frames in any::<u32>(),
-        kind in 0usize..6,
+        kind in 0usize..8,
+        rows in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
     ) {
         let device = format!("bus-{device_seed:016x}");
         // 0 doubles as "no explicit deadline".
         let deadline =
             (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
-        // Kinds 4/5 exercise the stats tags; the rest carry a Verify.
-        let request = if kind == 4 {
-            Request::Stats
-        } else {
-            Request::Verify { device: device.clone(), nonce }
+        // Kinds 4/5 exercise the stats tags, 6/7 the cohort tags; the
+        // rest carry a Verify.
+        let devices: Vec<(String, u64)> = rows
+            .iter()
+            .map(|(d, n)| (format!("bus-{d:016x}"), *n))
+            .collect();
+        let request = match kind {
+            4 => Request::Stats,
+            6 => Request::CohortEnroll { devices: devices.clone() },
+            7 => Request::IntakeScan { devices: devices.clone() },
+            _ => Request::Verify { device: device.clone(), nonce },
         };
         let (wire, expect) = match kind {
             0 => (
@@ -164,7 +172,7 @@ proptest! {
                 encode_request_tagged(id, &request, deadline),
                 WireRequest::Tagged { id, request: request.clone(), deadline },
             ),
-            _ => (
+            5 => (
                 encode_stats_subscribe(
                     id,
                     Duration::from_millis(u64::from(interval_ms)),
@@ -175,6 +183,12 @@ proptest! {
                     interval: Duration::from_millis(u64::from(interval_ms)),
                     max_frames,
                 },
+            ),
+            // 6/7: the cohort request tags, id-tagged like every
+            // batch-friendly request.
+            _ => (
+                encode_request_tagged(id, &request, deadline),
+                WireRequest::Tagged { id, request: request.clone(), deadline },
             ),
         };
         prop_assert_eq!(decode_wire_request(&wire).expect("decodes"), expect);
@@ -190,7 +204,7 @@ proptest! {
         similarity in any::<f64>(),
         accepted in any::<bool>(),
         interval_ms in 1u32..60_000,
-        kind in 0usize..5,
+        kind in 0usize..7,
         depth in any::<u32>(),
         counter in any::<u64>(),
         gauge_bits in any::<u64>(),
@@ -221,6 +235,59 @@ proptest! {
                 encode_sub_end(id, seq),
                 WireEvent::SubEnd { id, frames: seq },
             ),
+            5 => {
+                // Cohort model summaries are all-integer, so plain
+                // equality covers them.
+                let outcome: Result<Response, FleetError> = Ok(Response::CohortModel {
+                    cohort_size: depth,
+                    excluded: depth.wrapping_add(interval_ms),
+                    segments: interval_ms,
+                });
+                (
+                    encode_tagged_response(id, &outcome),
+                    WireEvent::Reply { id, outcome: Box::new(outcome.clone()) },
+                )
+            }
+            6 => {
+                // Intake reports carry three f64 evidence fields each;
+                // arbitrary bit patterns (NaNs included) must survive
+                // the wire, so compare by bits below.
+                let report = |k: usize| IntakeReport {
+                    device: format!("bus-{device_seed:016x}-{k}"),
+                    verdict: Verdict::from_code((depth as u8).wrapping_add(k as u8) % 4)
+                        .expect("codes 0..4 decode"),
+                    score: f64::from_bits(q_bits[k % 3]),
+                    similarity: f64::from_bits(q_bits[(k + 1) % 3]),
+                    max_z: f64::from_bits(q_bits[(k + 2) % 3]),
+                    deviant_segments: depth,
+                    worst_segment: depth.wrapping_add(k as u32),
+                };
+                let outcome: Result<Response, FleetError> = Ok(Response::Intake {
+                    reports: (0..(counter % 3) as usize).map(report).collect(),
+                });
+                let wire = encode_tagged_response(id, &outcome);
+                let got = decode_event(&wire).expect("decodes");
+                let WireEvent::Reply { id: gid, outcome: gout } = got else {
+                    panic!("expected Reply, got {got:?}");
+                };
+                prop_assert_eq!(gid, id);
+                let (Ok(Response::Intake { reports: sent }),
+                     Ok(Response::Intake { reports: got })) = (&outcome, gout.as_ref())
+                else {
+                    panic!("expected Intake outcome");
+                };
+                prop_assert_eq!(got.len(), sent.len());
+                for (g, s) in got.iter().zip(sent) {
+                    prop_assert_eq!(&g.device, &s.device);
+                    prop_assert_eq!(g.verdict, s.verdict);
+                    prop_assert_eq!(g.score.to_bits(), s.score.to_bits());
+                    prop_assert_eq!(g.similarity.to_bits(), s.similarity.to_bits());
+                    prop_assert_eq!(g.max_z.to_bits(), s.max_z.to_bits());
+                    prop_assert_eq!(g.deviant_segments, s.deviant_segments);
+                    prop_assert_eq!(g.worst_segment, s.worst_segment);
+                }
+                return Ok(());
+            }
             _ => {
                 // Arbitrary f64 bit patterns (NaNs included) must
                 // survive the stats codec; compared via PartialEq
@@ -293,6 +360,10 @@ proptest! {
                         prop_assert_eq!(aa, ab);
                         prop_assert_eq!(da, db);
                     }
+                    (
+                        Ok(Response::CohortModel { .. }),
+                        Ok(Response::CohortModel { .. }),
+                    ) => prop_assert_eq!(x, y),
                     other => panic!("unexpected {other:?}"),
                 }
             }

@@ -20,10 +20,14 @@ const SEED: u64 = 77;
 const BUSES: usize = 4;
 
 fn start_service(workers: usize) -> FleetService {
-    FleetService::start(
-        FleetConfig::default().with_workers(workers),
-        SimulatedFleet::new(FleetSimConfig::fast(BUSES, SEED)),
-    )
+    // The cohort floor drops to the tiny test fleet so the v1 script
+    // can exercise the population-model path over the wire too.
+    let mut config = FleetConfig::default().with_workers(workers);
+    config.cohort = divot_cohort::CohortConfig {
+        min_cohort: BUSES,
+        ..divot_cohort::CohortConfig::default()
+    };
+    FleetService::start(config, SimulatedFleet::new(FleetSimConfig::fast(BUSES, SEED)))
 }
 
 /// The v1 conversation both servers must answer byte-for-byte alike:
@@ -70,6 +74,45 @@ fn v1_script() -> Vec<Vec<u8>> {
         &Request::Verify {
             device: "bus-404".into(),
             nonce: 7,
+        },
+        None,
+    ));
+    // Cohort path: a scan before any model is a typed error; enrolling
+    // the whole fleet installs a model; an undersized re-enroll is
+    // rejected without clobbering it; the scan then reports per-board
+    // verdicts; an unknown device in a scan is a typed error.
+    let cohort: Vec<(String, u64)> = (0..BUSES)
+        .map(|i| (SimulatedFleet::device_name(i), 21))
+        .collect();
+    frames.push(encode_request(
+        &Request::IntakeScan {
+            devices: cohort.clone(),
+        },
+        None,
+    ));
+    frames.push(encode_request(
+        &Request::CohortEnroll {
+            devices: cohort.clone(),
+        },
+        None,
+    ));
+    frames.push(encode_request(
+        &Request::CohortEnroll {
+            devices: cohort[..1].to_vec(),
+        },
+        None,
+    ));
+    frames.push(encode_request(
+        &Request::IntakeScan {
+            devices: (0..BUSES)
+                .map(|i| (SimulatedFleet::device_name(i), 900))
+                .collect(),
+        },
+        None,
+    ));
+    frames.push(encode_request(
+        &Request::IntakeScan {
+            devices: vec![("bus-404".into(), 5)],
         },
         None,
     ));

@@ -65,6 +65,15 @@ bench-fleet:
 bench-cohort:
     DIVOT_FLEET_PHASES=cohort cargo run --release -p divot-bench --bin fleet_load
 
+# Golden-free intake scan: a 1024-board intake (counterfeit lots, wire
+# taps, scars, probes, trojans seeded) attested against population
+# models learned from cohorts of 32..512 boards — no per-device
+# references anywhere. Hard claims: EER <= 5 % at cohort >= 256 for the
+# counterfeit+tap pool, scan <= 4 ms/board. Writes BENCH_cohort.json
+# (ROC/EER per cohort size, per-class AUCs) at the repo root.
+bench-cohort-intake:
+    cargo run --release -p divot-bench --bin cohort_intake
+
 # Wire phases only: threaded-vs-reactor throughput at 1024 connections
 # (>=5x claim), byte-equivalence probe, 10k-connection scaling (child
 # driver), churn p99, and overload fairness. Writes BENCH_fleet.json with
